@@ -1,0 +1,44 @@
+"""Ablation: LP backend choice for the placement program.
+
+DESIGN.md ablation 2: the specialized transportation solver vs scipy's
+HiGHS vs the from-scratch dense simplex, on the same priced instance
+(route pricing excluded — the DP engine prices the matrix once and each
+backend solves the identical LP).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PlacementEngine, PlacementProblem, ThresholdPolicy, classify_network
+from repro.routing import PathEngine, ResponseTimeModel
+from repro.topology import CapacityModel, LinkUtilizationModel, build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def priced_problem():
+    topo = build_fat_tree(8)
+    LinkUtilizationModel(0.2, 0.8, seed=1).apply(topo)
+    policy = ThresholdPolicy(c_max=75.0, co_max=50.0, x_min=10.0)
+    caps = CapacityModel(x_min=10.0, seed=2).sample(topo.num_nodes)
+    roles = classify_network(caps, policy)
+    assert roles.busy and roles.candidates
+    return PlacementProblem(
+        topology=topo,
+        busy=tuple(roles.busy),
+        candidates=tuple(roles.candidates),
+        cs=np.array([policy.excess_load(caps[b]) for b in roles.busy]),
+        cd=np.array([policy.spare_capacity(caps[c]) for c in roles.candidates]),
+        data_mb=np.full(len(roles.busy), 10.0),
+        max_hops=5,
+    )
+
+
+@pytest.mark.parametrize("backend", ["transportation", "scipy", "simplex"])
+def test_ablation_lp_backend(benchmark, priced_problem, backend):
+    engine = PlacementEngine(
+        response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=5),
+        lp_backend=backend,
+        with_routes=False,
+    )
+    report = benchmark(lambda: engine.solve(priced_problem))
+    assert report.feasible

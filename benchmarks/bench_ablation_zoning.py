@@ -1,0 +1,65 @@
+"""Ablation: global placement vs the paper's <= 80-node zoning.
+
+The conclusion recommends zoning large fabrics so each zone's ILP stays
+sub-second. This bench measures global-vs-zoned solve time and records
+the price: load stuck in zones without local candidates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PlacementEngine,
+    PlacementProblem,
+    ThresholdPolicy,
+    ZonedPlacementEngine,
+    classify_network,
+    partition_by_pod,
+)
+from repro.routing import PathEngine, ResponseTimeModel
+from repro.topology import CapacityModel, LinkUtilizationModel, build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def state():
+    topo = build_fat_tree(8)
+    LinkUtilizationModel(0.2, 0.8, seed=5).apply(topo)
+    policy = ThresholdPolicy(c_max=78.0, co_max=50.0, x_min=10.0)
+    caps = CapacityModel(x_min=10.0, seed=6).sample(topo.num_nodes)
+    roles = classify_network(caps, policy)
+    assert roles.busy and roles.candidates
+    busy, cands = roles.busy, roles.candidates
+    cs = [policy.excess_load(caps[b]) for b in busy]
+    cd = [policy.spare_capacity(caps[c]) for c in cands]
+    return topo, busy, cands, cs, cd
+
+
+def test_ablation_global_placement(benchmark, state):
+    topo, busy, cands, cs, cd = state
+    engine = PlacementEngine(
+        response_model=ResponseTimeModel(engine=PathEngine.ENUMERATION, max_hops=5),
+        with_routes=False,
+    )
+    problem = PlacementProblem(
+        topology=topo, busy=tuple(busy), candidates=tuple(cands),
+        cs=np.asarray(cs), cd=np.asarray(cd),
+        data_mb=np.full(len(busy), 10.0), max_hops=5,
+    )
+    report = benchmark(lambda: engine.solve(problem))
+    assert report.status is not None
+
+
+def test_ablation_zoned_placement(benchmark, state):
+    topo, busy, cands, cs, cd = state
+    zones = partition_by_pod(topo)
+    engine = ZonedPlacementEngine(
+        engine=PlacementEngine(
+            response_model=ResponseTimeModel(engine=PathEngine.ENUMERATION, max_hops=5),
+            with_routes=False,
+        ),
+        max_hops=5,
+    )
+    report = benchmark(
+        lambda: engine.solve(topo, zones, busy, cands, cs, cd, [10.0] * len(busy))
+    )
+    assert 0.0 <= report.zone_failure_rate_pct <= 100.0

@@ -1,0 +1,105 @@
+"""Component micro-benchmarks: the substrate hot paths.
+
+These are the operations the experiments hammer; tracking them guards
+against performance regressions in the pieces the figure-level benches
+aggregate over.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiResourceProblem, solve_multiresource
+from repro.routing import RouteMaintainer, hop_constrained_shortest, k_shortest_paths
+from repro.simulation import GravityTrafficMatrix, MessageNetwork, SimulationEngine
+from repro.telemetry import DeviceProfile, NetworkDevice, paper_agent_specs
+from repro.telemetry.workload import DeviceWorkloadDriver
+from repro.topology import CapacityModel, LinkUtilizationModel, build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    topo = build_fat_tree(8)
+    LinkUtilizationModel(0.2, 0.8, seed=0).apply(topo)
+    return topo
+
+
+def test_bench_fat_tree_construction(benchmark):
+    topo = benchmark(lambda: build_fat_tree(16))
+    assert topo.num_nodes == 320
+
+
+def test_bench_hop_constrained_dp(benchmark, fabric):
+    weights = 1.0 / fabric.effective_bandwidths()
+    result = benchmark(lambda: hop_constrained_shortest(fabric, 20, 6, weights))
+    assert np.isfinite(result.best).all()
+
+
+def test_bench_yen_k_shortest(benchmark, fabric):
+    weights = 1.0 / fabric.effective_bandwidths()
+    paths = benchmark(lambda: k_shortest_paths(fabric, 20, 75, weights, k=8, max_hops=6))
+    assert len(paths) == 8
+
+
+def test_bench_route_maintainer_check(benchmark, fabric):
+    maintainer = RouteMaintainer(fabric)
+    for i, (src, dst) in enumerate(((20, 75), (21, 60), (30, 50), (40, 70))):
+        maintainer.register_flow(f"f{i}", src, dst, max_hops=6)
+    benchmark(maintainer.check)
+
+
+def test_bench_device_interval(benchmark):
+    device = NetworkDevice(DeviceProfile(
+        name="d", cores=8, memory_gb=16.0, base_cpu_pct=15.0, base_memory_mb=8192.0,
+    ))
+    for spec in paper_agent_specs():
+        device.install_agent(spec)
+    driver = DeviceWorkloadDriver(device, intensity=1.3, seed=0)
+    state = {"now": 0.0}
+
+    def one_interval():
+        driver.advance(60.0)
+        state["now"] += 60.0
+        return device.step(state["now"], 60.0)
+
+    sample = benchmark(one_interval)
+    assert sample.monitoring_cpu_pct >= 0
+
+
+def test_bench_gravity_traffic(benchmark, fabric):
+    traffic = GravityTrafficMatrix(total_demand_mbps=500_000.0, seed=1)
+    carried = benchmark(lambda: traffic.apply(fabric))
+    assert carried.shape == (fabric.num_edges,)
+
+
+def test_bench_multiresource_solve(benchmark, fabric):
+    rng = np.random.default_rng(2)
+    busy = tuple(range(16, 22))
+    cands = tuple(range(40, 60))
+    problem = MultiResourceProblem(
+        topology=fabric,
+        busy=busy,
+        candidates=cands,
+        demands=rng.uniform(2.0, 8.0, (len(busy), 2)),
+        spares=rng.uniform(5.0, 20.0, (len(cands), 2)),
+        data_mb=np.full(len(busy), 10.0),
+        max_hops=6,
+    )
+    report = benchmark(lambda: solve_multiresource(problem))
+    assert report.status is not None
+
+
+def test_bench_control_message_roundtrip(benchmark):
+    topo = build_fat_tree(4)
+    engine = SimulationEngine()
+    network = MessageNetwork(topo, engine)
+    received = []
+    network.register(19, received.append)
+    network.register(8, received.append)
+
+    def roundtrip():
+        network.send(8, 19, payload="ping")
+        network.send(19, 8, payload="pong")
+        engine.run()
+
+    benchmark(roundtrip)
+    assert received

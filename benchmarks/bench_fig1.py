@@ -1,0 +1,18 @@
+"""Bench: Fig. 1 — monitoring-module CPU under VxLAN load (local)."""
+
+import pytest
+
+from repro.testbed.monitoring_run import run_monitoring
+from repro.testbed.vxlan import VxlanWorkload
+
+
+@pytest.mark.figure("fig1")
+def test_fig1_local_monitoring_run(benchmark):
+    result = benchmark(
+        lambda: run_monitoring(
+            "local", intervals=30, interval_s=60.0, workload=VxlanWorkload(seed=42)
+        )
+    )
+    # Paper band: ~100% average module CPU, spikes well above it.
+    assert 60.0 <= result.avg_module_cpu_pct <= 250.0
+    assert result.peak_module_cpu_pct >= result.avg_module_cpu_pct

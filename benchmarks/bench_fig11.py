@@ -1,0 +1,16 @@
+"""Bench: Fig. 11 — HFR and ILP time vs network scale."""
+
+import pytest
+
+from repro.experiments.fig11_scalability import scalability_point
+
+
+@pytest.mark.figure("fig11")
+@pytest.mark.parametrize("k,iterations", [(4, 5), (8, 3), (16, 1)])
+def test_fig11_hfr_at_scale(benchmark, k, iterations):
+    hfr, _, _ = benchmark.pedantic(
+        lambda: scalability_point(k, iterations, run_ilp=False, ilp_max_hops=None, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    assert 0.0 <= hfr <= 100.0

@@ -1,0 +1,21 @@
+"""Bench: Fig. 12 — heuristic runtime vs network scale.
+
+The 64-k (5120-node) point is the paper's headline: the heuristic
+stays tractable where the ILP cannot run at all.
+"""
+
+import pytest
+
+from repro.experiments.fig12_heuristic_scalability import heuristic_time_at_scale
+
+
+@pytest.mark.figure("fig12")
+@pytest.mark.parametrize("k", [4, 8, 16, 64])
+def test_fig12_heuristic_time_at_scale(benchmark, k):
+    mean_s, hfr, _ = benchmark.pedantic(
+        lambda: heuristic_time_at_scale(k, iterations=1, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    assert mean_s == mean_s  # not NaN: overload was sampled
+    assert 0.0 <= hfr <= 100.0

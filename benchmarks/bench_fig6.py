@@ -1,0 +1,14 @@
+"""Bench: Fig. 6 — local vs DUST-offloaded resource utilization."""
+
+import pytest
+
+from repro.testbed.monitoring_run import compare_local_vs_offloaded
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_offload_comparison(benchmark):
+    cmp = benchmark(lambda: compare_local_vs_offloaded(intervals=25, seed=42))
+    # Paper: ~52% CPU cut, ~12% memory cut; assert the winner and rough factor.
+    assert cmp.cpu_reduction_pct > 30.0
+    assert 4.0 <= cmp.memory_reduction_pct <= 20.0
+    assert cmp.offloaded.avg_device_cpu_pct < cmp.local.avg_device_cpu_pct

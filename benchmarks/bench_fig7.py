@@ -1,0 +1,14 @@
+"""Bench: Fig. 7 — Infeasible Optimization rate vs delta_io."""
+
+import pytest
+
+from repro.experiments.fig7_infeasible_rate import run
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_io_rate_sweep(benchmark):
+    result = benchmark(lambda: run(iterations=80, deltas=(0.8, 1.5, 2.5, 3.5), seed=0))
+    rates = [row[2] for row in result.rows]
+    # Paper shape: high at delta 0.8, near-zero for delta >= 2.
+    assert rates[0] > rates[-1]
+    assert rates[-1] < 5.0

@@ -1,0 +1,16 @@
+"""Bench: Fig. 8 — ILP time vs max-hop on the 4-k fat-tree.
+
+One bench per hop point so ``pytest-benchmark``'s table *is* the
+figure: the growth across rows is the paper's curve.
+"""
+
+import pytest
+
+from repro.experiments.fig8_maxhop_smallscale import mean_solve_time
+
+
+@pytest.mark.figure("fig8")
+@pytest.mark.parametrize("max_hops", [2, 4, 6, 8, 10])
+def test_fig8_ilp_time_vs_maxhop(benchmark, max_hops):
+    mean_s, _ = benchmark(lambda: mean_solve_time(4, max_hops, iterations=3, seed=0))
+    assert mean_s >= 0.0

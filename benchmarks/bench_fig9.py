@@ -1,0 +1,15 @@
+"""Bench: Fig. 9 — heuristic vs ILP success split."""
+
+import pytest
+
+from repro.experiments.fig9_success_rate import run
+
+
+@pytest.mark.figure("fig9")
+def test_fig9_success_split(benchmark):
+    result = benchmark(lambda: run(iterations=40, seed=0))
+    pcts = {row[0]: row[2] for row in result.rows}
+    # Paper shape: partial >> full > zero.
+    assert pcts["partial (heuristic + ILP remainder)"] >= max(
+        pcts["heuristic full offload"], pcts["heuristic zero / ILP success"]
+    )

@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates (a reduced-size version of) one paper figure —
+run ``pytest benchmarks/ --benchmark-only`` to time them all. The
+bench bodies call the same ``repro.experiments`` entry points as the
+full CLI, so timing them is timing the reproduction itself.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(id): bench regenerates the given paper figure"
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multi-resource placement: when memory, not CPU, binds.
+
+The paper measures both CPU and memory savings (Fig. 6) but optimizes a
+single capacity dimension. This example uses the repo's multi-resource
+extension: a busy switch must shed both CPU and memory, and the
+destination split is forced by whichever resource is scarce.
+
+Run with::
+
+    python examples/multiresource_placement.py
+"""
+
+import numpy as np
+
+from repro.core import MultiResourceProblem, solve_multiresource
+from repro.experiments.common import render_table
+from repro.topology import LinkUtilizationModel, build_fat_tree
+
+
+def main() -> None:
+    topology = build_fat_tree(4)
+    LinkUtilizationModel(0.2, 0.7, seed=4).apply(topology)
+
+    # Busy edge switch 8 sheds 12 CPU points and 9 memory points.
+    # Candidate 9 has CPU to spare but little memory; candidate 12 the
+    # reverse; candidate 16 is balanced but farther away.
+    problem = MultiResourceProblem(
+        topology=topology,
+        busy=(8,),
+        candidates=(9, 12, 16),
+        demands=np.array([[12.0, 9.0]]),
+        spares=np.array([
+            [20.0, 3.0],   # node 9: CPU-rich, memory-poor
+            [4.0, 20.0],   # node 12: memory-rich, CPU-poor
+            [8.0, 6.0],    # node 16: balanced but too small alone
+        ]),
+        data_mb=np.array([10.0]),
+        resources=("cpu_pct", "memory_pct"),
+        max_hops=6,
+    )
+    report = solve_multiresource(problem)
+    assert report.feasible
+
+    rows = []
+    for j, cand in enumerate(problem.candidates):
+        rows.append((
+            f"node {cand}",
+            f"{report.fractions[0, j]*100:.1f}%",
+            f"{report.per_resource_usage['cpu_pct'][j]:.2f} / {problem.spares[j,0]:g}",
+            f"{report.per_resource_usage['memory_pct'][j]:.2f} / {problem.spares[j,1]:g}",
+        ))
+    print(render_table(
+        ("destination", "workload share", "CPU used/spare", "memory used/spare"),
+        rows,
+    ))
+    print(f"\nbeta = {report.objective_beta:.5f} s (workload-fraction weighted)")
+    print("reading: neither CPU-rich node 9 nor memory-rich node 12 can take the "
+          "whole workload alone — the LP splits it so both resource constraints "
+          "(3a, per dimension) hold simultaneously.")
+
+
+if __name__ == "__main__":
+    main()

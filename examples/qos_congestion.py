@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""QoS guarantee under congestion (Section III-C).
+
+Offloaded monitoring traffic rides the lowest strict-priority class, so
+a congested egress drops telemetry first and production traffic never
+loses data — the paper's post-offloading QoS guarantee, measured.
+
+Run with::
+
+    python examples/qos_congestion.py
+"""
+
+from repro.experiments.common import render_table
+from repro.testbed import run_congestion_experiment
+
+
+def main() -> None:
+    rows = []
+    for capacity in (1.0, 2.0, 5.0, 50.0):
+        result = run_congestion_experiment(
+            intervals=40,
+            egress_capacity_mbps=capacity,
+            production_load_fraction=0.9,
+            seed=3,
+        )
+        rows.append((
+            f"{capacity:g} Mbps",
+            result.congested_intervals,
+            f"{result.monitoring_delivery_ratio*100:.1f}%",
+            f"{result.total_monitoring_dropped_mb:.1f}",
+            f"{result.total_production_loss_mb:.1f}",
+        ))
+    print(render_table(
+        ("egress", "congested intervals", "telemetry delivered",
+         "telemetry dropped (Mb)", "PRODUCTION LOST (Mb)"),
+        rows,
+    ))
+    print("\ninvariant: production loss stays 0 at every capacity — monitoring "
+          "data is 'safely discarded in the event of network congestion'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Zoned deployment: the paper's scaling recommendation in action.
+
+The conclusion suggests "dividing large-scale networks into zones
+containing a maximum of 80 nodes" so each zone's placement stays within
+a sub-second budget. This example compares global vs per-pod-zoned
+placement on an 8-k fat-tree (80 nodes): solve time, objective, and
+the load stranded in zones without local candidates.
+
+Run with::
+
+    python examples/zoned_deployment.py
+"""
+
+import numpy as np
+
+from repro import PlacementEngine, ThresholdPolicy, build_fat_tree
+from repro.core import (
+    PlacementProblem,
+    ZonedPlacementEngine,
+    classify_network,
+    partition_by_pod,
+)
+from repro.experiments.common import render_table
+from repro.routing import PathEngine, ResponseTimeModel
+from repro.topology import CapacityModel, LinkUtilizationModel
+
+
+def main() -> None:
+    topology = build_fat_tree(8)
+    LinkUtilizationModel(0.2, 0.8, seed=5).apply(topology)
+    policy = ThresholdPolicy(c_max=78.0, co_max=50.0, x_min=10.0)
+    caps = CapacityModel(x_min=policy.x_min, seed=6).sample(topology.num_nodes)
+    roles = classify_network(caps, policy)
+    busy, cands = roles.busy, roles.candidates
+    cs = [policy.excess_load(caps[b]) for b in busy]
+    cd = [policy.spare_capacity(caps[c]) for c in cands]
+    data = [10.0] * len(busy)
+    print(f"{topology}: {len(busy)} busy, {len(cands)} candidates, "
+          f"Cs={sum(cs):.1f} pts")
+
+    # Global placement with the faithful enumeration engine at max-hop 5.
+    global_engine = PlacementEngine(
+        response_model=ResponseTimeModel(engine=PathEngine.ENUMERATION, max_hops=5),
+        with_routes=False,
+    )
+    global_report = global_engine.solve(PlacementProblem(
+        topology=topology, busy=tuple(busy), candidates=tuple(cands),
+        cs=np.asarray(cs), cd=np.asarray(cd), data_mb=np.asarray(data),
+        max_hops=5,
+    ))
+
+    # Zoned placement: one zone per pod (+ a core-switch share each).
+    zones = partition_by_pod(topology)
+    zoned_engine = ZonedPlacementEngine(engine=global_engine, max_hops=5)
+    zoned_report = zoned_engine.solve(topology, zones, busy, cands, cs, cd, data)
+
+    print(render_table(
+        ("strategy", "solve s", "wall s (parallel zones)", "offloaded pts",
+         "stranded pts", "beta (s)"),
+        (
+            ("global ILP", f"{global_report.total_seconds:.3f}", "-",
+             f"{global_report.total_offloaded:.1f}", "0.0",
+             f"{global_report.objective_beta:.4f}" if global_report.feasible else "inf"),
+            ("zoned (per pod)", f"{zoned_report.total_seconds:.3f}",
+             f"{zoned_report.max_zone_seconds:.3f}",
+             f"{zoned_report.total_offloaded:.1f}",
+             f"{zoned_report.total_unplaced:.1f}",
+             f"{zoned_report.objective_beta:.4f}"),
+        ),
+    ))
+    print(f"\nzone failure rate: {zoned_report.zone_failure_rate_pct:.1f}% of the "
+          f"excess had no same-zone candidate capacity")
+    print("reading: zoning bounds each solve (and parallelizes across zones) at "
+          "the cost of forbidding inter-zone offloading — the paper's <= 80-node "
+          "zone advice is exactly this trade.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""DUST core — the paper's primary contribution.
+
+Role assignment, threshold policy (Δ_io), the control-plane protocol,
+the NMDB, the Eq.-3 placement engine, Algorithm 1, the manager/client
+runtimes and the post-offload machinery.
+"""
+
+from __future__ import annotations
+
+from repro.core.audit import AuditReport, audit_system
+from repro.core.client import DUSTClient, HostedWorkload
+from repro.core.heuristic import HeuristicReport, solve_heuristic
+from repro.core.manager import DUSTManager, ManagerCounters
+from repro.core.messages import (
+    Ack,
+    ControlMessage,
+    Keepalive,
+    MessageType,
+    OffloadAck,
+    OffloadCapable,
+    OffloadRequest,
+    Reclaim,
+    Redirect,
+    Rep,
+    Stat,
+)
+from repro.core.metrics import (
+    SuccessCategory,
+    SuccessRateSummary,
+    categorize_iteration,
+    fit_power_law,
+    hfr_pct,
+    infeasible_rate_pct,
+    mean_hops,
+    summarize_categories,
+)
+from repro.core.multiresource import (
+    DEFAULT_RESOURCES,
+    MultiResourceProblem,
+    MultiResourceReport,
+    solve_multiresource,
+)
+from repro.core.nms import (
+    MonitoringRequest,
+    NetworkMonitorService,
+    TriggerEvent,
+    default_catalog,
+)
+from repro.core.nmdb import NMDB, NetworkSnapshot, NodeRecord
+from repro.core.offload import ActiveOffload, OffloadLedger, OffloadPlan
+from repro.core.placement import (
+    PlacementAssignment,
+    PlacementEngine,
+    PlacementProblem,
+    PlacementReport,
+)
+from repro.core.postoffload import (
+    KeepaliveTracker,
+    QoSClass,
+    ReplicaSelector,
+    StrictPriorityQueue,
+    TransmissionOutcome,
+)
+from repro.core.zoning import (
+    Zone,
+    ZonedPlacementEngine,
+    ZonedPlacementReport,
+    partition_bfs,
+    partition_by_pod,
+    validate_partition,
+)
+from repro.core.roles import NodeRole, RoleAssignment, classify_network, classify_node
+from repro.core.thresholds import RECOMMENDED_K_IO, ThresholdPolicy
+
+__all__ = [
+    "ActiveOffload",
+    "AuditReport",
+    "audit_system",
+    "Ack",
+    "ControlMessage",
+    "DUSTClient",
+    "DUSTManager",
+    "HeuristicReport",
+    "HostedWorkload",
+    "Keepalive",
+    "KeepaliveTracker",
+    "ManagerCounters",
+    "MessageType",
+    "MonitoringRequest",
+    "MultiResourceProblem",
+    "MultiResourceReport",
+    "DEFAULT_RESOURCES",
+    "solve_multiresource",
+    "NetworkMonitorService",
+    "TriggerEvent",
+    "default_catalog",
+    "NMDB",
+    "NetworkSnapshot",
+    "NodeRecord",
+    "NodeRole",
+    "OffloadAck",
+    "OffloadCapable",
+    "OffloadLedger",
+    "OffloadPlan",
+    "OffloadRequest",
+    "PlacementAssignment",
+    "PlacementEngine",
+    "PlacementProblem",
+    "PlacementReport",
+    "QoSClass",
+    "RECOMMENDED_K_IO",
+    "Reclaim",
+    "Redirect",
+    "Rep",
+    "ReplicaSelector",
+    "RoleAssignment",
+    "Stat",
+    "Zone",
+    "ZonedPlacementEngine",
+    "ZonedPlacementReport",
+    "partition_bfs",
+    "partition_by_pod",
+    "validate_partition",
+    "StrictPriorityQueue",
+    "SuccessCategory",
+    "SuccessRateSummary",
+    "ThresholdPolicy",
+    "TransmissionOutcome",
+    "categorize_iteration",
+    "classify_network",
+    "classify_node",
+    "fit_power_law",
+    "hfr_pct",
+    "infeasible_rate_pct",
+    "mean_hops",
+    "solve_heuristic",
+    "summarize_categories",
+]

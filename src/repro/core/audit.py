@@ -1,0 +1,142 @@
+"""System-consistency auditor for manager/client deployments.
+
+A running DUST system maintains distributed state: the manager's ledger
+of active offloads, each source's record of where its load went, and
+each destination's hosted workloads. :func:`audit_system` cross-checks
+them and returns a list of human-readable violations (empty = clean).
+The integration tests assert a clean audit after every scenario, which
+catches protocol regressions (lost Redirects, stale ledger rows,
+double-hosted workloads) that individual unit tests cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.client import DUSTClient
+from repro.core.manager import DUSTManager
+
+_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one audit pass."""
+
+    violations: tuple
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:  # truthy == clean, so `assert audit(...)` reads well
+        return self.clean
+
+    def __repr__(self) -> str:
+        if self.clean:
+            return "AuditReport(clean)"
+        return "AuditReport(violations=[\n  " + "\n  ".join(self.violations) + "\n])"
+
+
+def audit_system(
+    manager: DUSTManager, clients: Mapping[int, DUSTClient]
+) -> AuditReport:
+    """Cross-check manager ledger against live client state.
+
+    Checks (alive clients only — crashed nodes legitimately diverge
+    until the keepalive sweep cleans them up):
+
+    1. every ledger offload's source records at least that amount
+       toward the destination;
+    2. every ledger offload's destination hosts that source;
+    3. no client hosts a workload the ledger does not know about;
+    4. no destination exceeds ``CO_max``;
+    5. aggregate conservation: total hosted == total offloaded ==
+       ledger total (over alive endpoints).
+    """
+    violations: List[str] = []
+    policy = manager.policy
+    now = manager.engine.now
+
+    ledger_by_pair: Dict[tuple, float] = {}
+    for offload in manager.ledger.active:
+        key = (offload.source, offload.destination)
+        ledger_by_pair[key] = ledger_by_pair.get(key, 0.0) + offload.amount_pct
+
+    # 1 + 2: ledger -> clients.
+    for (source, destination), amount in ledger_by_pair.items():
+        src = clients.get(source)
+        dst = clients.get(destination)
+        if src is not None and src.alive:
+            recorded = src.offloaded_to.get(destination, 0.0)
+            if recorded + _TOL < amount:
+                violations.append(
+                    f"source {source} records {recorded:.3f} toward {destination}, "
+                    f"ledger says {amount:.3f}"
+                )
+        if dst is not None and dst.alive:
+            hosted = dst.hosted.get(source)
+            if hosted is None:
+                violations.append(
+                    f"destination {destination} does not host source {source} "
+                    f"(ledger says {amount:.3f})"
+                )
+            elif hosted.amount_pct + _TOL < amount:
+                violations.append(
+                    f"destination {destination} hosts {hosted.amount_pct:.3f} for "
+                    f"{source}, ledger says {amount:.3f}"
+                )
+
+    # 3: clients -> ledger (no ghost hosting).
+    for node_id, client in clients.items():
+        if not client.alive:
+            continue
+        for source, workload in client.hosted.items():
+            known = ledger_by_pair.get((source, node_id), 0.0)
+            if workload.amount_pct > known + _TOL:
+                violations.append(
+                    f"node {node_id} hosts {workload.amount_pct:.3f} for {source} "
+                    f"but ledger knows only {known:.3f}"
+                )
+
+    # 4: destination capacity invariant (constraint 3a's runtime analogue).
+    for node_id, client in clients.items():
+        if client.alive and client.hosted_amount > 0:
+            capacity = client.current_capacity(now)
+            if capacity > policy.co_max + _TOL:
+                violations.append(
+                    f"destination {node_id} at {capacity:.2f}% exceeds "
+                    f"CO_max {policy.co_max}%"
+                )
+
+    # 5: aggregate conservation over alive endpoints.
+    alive_pairs = [
+        (pair, amount)
+        for pair, amount in ledger_by_pair.items()
+        if clients.get(pair[0]) is not None
+        and clients.get(pair[1]) is not None
+        and clients[pair[0]].alive
+        and clients[pair[1]].alive
+    ]
+    ledger_total = sum(a for _, a in alive_pairs)
+    hosted_total = sum(
+        c.hosted_amount for c in clients.values() if c.alive
+    )
+    offloaded_total = sum(
+        c.offloaded_amount for c in clients.values() if c.alive
+    )
+    if abs(hosted_total - ledger_total) > 1e-3 and not any(
+        not c.alive for c in clients.values()
+    ):
+        violations.append(
+            f"hosted total {hosted_total:.3f} != ledger total {ledger_total:.3f}"
+        )
+    if abs(offloaded_total - ledger_total) > 1e-3 and not any(
+        not c.alive for c in clients.values()
+    ):
+        violations.append(
+            f"offloaded total {offloaded_total:.3f} != ledger total {ledger_total:.3f}"
+        )
+
+    return AuditReport(violations=tuple(violations))

@@ -1,0 +1,305 @@
+"""DUST-Client: the per-node agent of the control plane.
+
+A client can run "on switches, servers, or any available compute
+resources such as DPUs" — here it is an event-driven endpoint on the
+:class:`~repro.simulation.network_sim.MessageNetwork`. Its life cycle
+follows Section III-B:
+
+1. announce itself with **Offload-capable**;
+2. on **ACK**, start the periodic **STAT** loop at the manager-assigned
+   Update-Interval Time;
+3. as a *destination*: accept **Offload-Request** / **REP** when the
+   projected utilization stays at/below ``CO_max``, then heartbeat with
+   **Keepalive**;
+4. as a *source*: apply **Redirect** (its monitoring load leaves the
+   node) and **Reclaim** (it returns).
+
+The utilized capacity it reports is ``base(t) − offloaded + hosted``
+(the homogeneity assumption), where ``base`` is a constant or a
+callable of virtual time supplied by the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.messages import (
+    Ack,
+    ControlMessage,
+    Keepalive,
+    OffloadAck,
+    OffloadCapable,
+    OffloadRequest,
+    Reclaim,
+    Redirect,
+    Rep,
+    Stat,
+)
+from repro.core.thresholds import ThresholdPolicy
+from repro.errors import ProtocolError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network_sim import Message, MessageNetwork
+
+CapacityFn = Union[float, Callable[[float], float]]
+
+
+@dataclass
+class HostedWorkload:
+    """A workload this client hosts for a remote Busy node."""
+
+    source: int
+    amount_pct: float
+    data_mb: float
+    via_replica: bool = False
+
+
+class DUSTClient:
+    """Event-driven DUST client endpoint."""
+
+    def __init__(
+        self,
+        node_id: int,
+        engine: SimulationEngine,
+        network: MessageNetwork,
+        manager_node: int,
+        policy: ThresholdPolicy,
+        base_capacity: CapacityFn = 30.0,
+        data_mb: float = 10.0,
+        num_agents: int = 10,
+        capable: bool = True,
+        keepalive_period_s: float = 10.0,
+    ) -> None:
+        self.node_id = node_id
+        self.engine = engine
+        self.network = network
+        self.manager_node = manager_node
+        self.policy = policy
+        self._base_capacity = base_capacity
+        self.data_mb = data_mb
+        self.num_agents = num_agents
+        self.capable = capable
+        self.keepalive_period_s = keepalive_period_s
+
+        self.update_interval_s: Optional[float] = None
+        self.hosted: Dict[int, HostedWorkload] = {}
+        self.offloaded_to: Dict[int, float] = {}  # destination -> amount
+        self.alive = True
+        self._keepalive_running = False
+        self.stats_sent = 0
+        self.keepalives_sent = 0
+        self.requests_rejected = 0
+
+    # -- capacity model -----------------------------------------------------------
+    def base_capacity(self, now: float) -> float:
+        """Intrinsic (pre-DUST) utilized capacity at virtual time."""
+        if callable(self._base_capacity):
+            return float(self._base_capacity(now))
+        return float(self._base_capacity)
+
+    def current_capacity(self, now: float) -> float:
+        """Reported ``C_j``: base − offloaded + hosted, clamped to
+        [x_min, 100]."""
+        cap = (
+            self.base_capacity(now)
+            - sum(self.offloaded_to.values())
+            + sum(h.amount_pct for h in self.hosted.values())
+        )
+        return float(min(100.0, max(self.policy.x_min, cap)))
+
+    @property
+    def hosted_amount(self) -> float:
+        return float(sum(h.amount_pct for h in self.hosted.values()))
+
+    @property
+    def offloaded_amount(self) -> float:
+        return float(sum(self.offloaded_to.values()))
+
+    # -- lifecycle -------------------------------------------------------------------
+    def start(self) -> None:
+        """Register on the network and announce participation."""
+        self.network.register(self.node_id, self._receive)
+        self.network.send(
+            self.node_id,
+            self.manager_node,
+            OffloadCapable(
+                node_id=self.node_id,
+                capable=self.capable,
+                c_max=self.policy.c_max,
+                co_max=self.policy.co_max,
+            ),
+        )
+
+    def fail(self) -> None:
+        """Crash the node: stop responding, stop all loops. Used by the
+        failure-recovery experiments to trigger replica substitution."""
+        self.alive = False
+        self.network.unregister(self.node_id)
+
+    def recover(self) -> None:
+        """Restart after a crash: state is lost (hosted workloads were
+        re-homed by the manager; any of our own offloads were recorded
+        there too), so the client re-announces like a fresh boot."""
+        if self.alive:
+            raise ProtocolError(f"client {self.node_id} is not failed")
+        self.hosted.clear()
+        self.offloaded_to.clear()
+        self.update_interval_s = None
+        self._keepalive_running = False
+        self.alive = True
+        self.start()
+
+    # -- message handling -------------------------------------------------------------
+    def _receive(self, message: Message) -> None:
+        if not self.alive:
+            return
+        payload = message.payload
+        if isinstance(payload, Ack):
+            self._on_ack(payload)
+        elif isinstance(payload, OffloadRequest):
+            self._on_offload_request(payload)
+        elif isinstance(payload, Rep):
+            self._on_rep(payload)
+        elif isinstance(payload, Redirect):
+            self._on_redirect(payload)
+        elif isinstance(payload, Reclaim):
+            self._on_reclaim(payload)
+        elif isinstance(payload, ControlMessage):
+            raise ProtocolError(
+                f"client {self.node_id} cannot handle {payload.type.value!r}"
+            )
+        else:
+            raise ProtocolError(f"client {self.node_id} received non-DUST payload")
+
+    def _on_ack(self, ack: Ack) -> None:
+        if ack.node_id != self.node_id:
+            raise ProtocolError(
+                f"client {self.node_id} got ACK addressed to {ack.node_id}"
+            )
+        first_start = self.update_interval_s is None
+        self.update_interval_s = ack.update_interval_s
+        if first_start:
+            self.engine.schedule_periodic(
+                ack.update_interval_s,
+                lambda engine: self._send_stat(),
+                label=f"stat-{self.node_id}",
+                first_delay=0.0,
+                condition=lambda: self.alive,
+            )
+
+    def _send_stat(self) -> None:
+        self.stats_sent += 1
+        self.network.send(
+            self.node_id,
+            self.manager_node,
+            Stat(
+                node_id=self.node_id,
+                capacity_pct=self.current_capacity(self.engine.now),
+                data_mb=self.data_mb,
+                num_agents=self.num_agents,
+                timestamp=self.engine.now,
+            ),
+        )
+
+    def _accept_hosting(self, source: int, amount: float, data_mb: float, via_replica: bool) -> bool:
+        projected = self.current_capacity(self.engine.now) + amount
+        if projected > self.policy.co_max + 1e-9:
+            self.requests_rejected += 1
+            return False
+        existing = self.hosted.get(source)
+        if existing is None:
+            self.hosted[source] = HostedWorkload(
+                source=source, amount_pct=amount, data_mb=data_mb, via_replica=via_replica
+            )
+        else:
+            existing.amount_pct += amount
+            existing.data_mb += data_mb
+        self._ensure_keepalive_loop()
+        return True
+
+    def _on_offload_request(self, req: OffloadRequest) -> None:
+        if req.destination != self.node_id:
+            raise ProtocolError(
+                f"client {self.node_id} got Offload-Request for {req.destination}"
+            )
+        accepted = self._accept_hosting(req.source, req.amount_pct, req.data_mb, False)
+        self.network.send(
+            self.node_id,
+            self.manager_node,
+            OffloadAck(
+                destination=self.node_id,
+                source=req.source,
+                accepted=accepted,
+                reason="" if accepted else "projected utilization above CO_max",
+            ),
+        )
+
+    def _on_rep(self, rep: Rep) -> None:
+        if rep.replica != self.node_id:
+            raise ProtocolError(f"client {self.node_id} got REP for {rep.replica}")
+        accepted = self._accept_hosting(rep.source, rep.amount_pct, 0.0, True)
+        self.network.send(
+            self.node_id,
+            self.manager_node,
+            OffloadAck(
+                destination=self.node_id,
+                source=rep.source,
+                accepted=accepted,
+                reason="replica" if accepted else "replica rejected: above CO_max",
+            ),
+        )
+
+    def _on_redirect(self, redirect: Redirect) -> None:
+        if redirect.source != self.node_id:
+            raise ProtocolError(
+                f"client {self.node_id} got Redirect for source {redirect.source}"
+            )
+        self.offloaded_to[redirect.destination] = (
+            self.offloaded_to.get(redirect.destination, 0.0) + redirect.amount_pct
+        )
+
+    def _on_reclaim(self, reclaim: Reclaim) -> None:
+        if reclaim.destination == self.node_id:
+            # Drop the hosted workload for this source.
+            hosted = self.hosted.get(reclaim.source)
+            if hosted is not None:
+                hosted.amount_pct -= reclaim.amount_pct
+                if hosted.amount_pct <= 1e-9:
+                    del self.hosted[reclaim.source]
+        elif reclaim.source == self.node_id:
+            # Take the workload back locally.
+            current = self.offloaded_to.get(reclaim.destination, 0.0)
+            remaining = current - reclaim.amount_pct
+            if remaining <= 1e-9:
+                self.offloaded_to.pop(reclaim.destination, None)
+            else:
+                self.offloaded_to[reclaim.destination] = remaining
+        else:
+            raise ProtocolError(
+                f"client {self.node_id} got Reclaim for "
+                f"{reclaim.source}->{reclaim.destination}"
+            )
+
+    # -- keepalive loop ------------------------------------------------------------------
+    def _ensure_keepalive_loop(self) -> None:
+        if self._keepalive_running:
+            return
+        self._keepalive_running = True
+
+        def beat(engine: SimulationEngine) -> None:
+            if not self.alive or not self.hosted:
+                self._keepalive_running = False
+                return
+            self.keepalives_sent += 1
+            self.network.send(
+                self.node_id,
+                self.manager_node,
+                Keepalive(
+                    node_id=self.node_id,
+                    hosted_sources=tuple(sorted(self.hosted)),
+                    timestamp=engine.now,
+                ),
+            )
+            engine.schedule_after(self.keepalive_period_s, beat, f"ka-{self.node_id}")
+
+        self.engine.schedule_after(0.0, beat, f"ka-{self.node_id}")

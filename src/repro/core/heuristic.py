@@ -1,0 +1,164 @@
+"""Algorithm 1 — the one-hop min-cost heuristic.
+
+For every Busy node the heuristic restricts the candidate set to
+*directly connected* Offload-candidate nodes (``max-hop = 1``) and
+solves the per-node min-cost fill; with a single supply the optimal
+fill is cheapest-lane-first greedy, which is what the implementation
+does. Candidate spare capacity is a shared pool: busy nodes are
+processed in ascending node-id order (deterministic) and each
+consumes capacity its successors no longer see — exactly the partial
+failure mode the paper quantifies with the Heuristic Failure Rate
+
+    HFR(%) = Σ_i Cse_i / Σ_i Cs_i · 100          (Eq. 4)
+
+where ``Cse_i`` is the load node *i* could not place one hop away.
+
+The ``hop_radius`` parameter generalizes the algorithm to r-hop
+neighborhoods (radius 1 is the paper's Algorithm 1); the ablation bench
+measures how HFR and runtime trade off as the radius grows toward the
+full ILP.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.placement import PlacementAssignment, PlacementProblem
+from repro.errors import PlacementError
+from repro.routing.response_time import PathEngine, ResponseTimeModel
+from repro.topology.links import BandwidthConvention
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class HeuristicReport:
+    """Outcome of one heuristic run (Algorithm 1)."""
+
+    assignments: Tuple[PlacementAssignment, ...]
+    offloaded_per_busy: Dict[int, float]
+    failed_per_busy: Dict[int, float]  # the Cse_i of Eq. 4
+    total_seconds: float
+    hop_radius: int
+
+    @property
+    def total_offloaded(self) -> float:
+        return float(sum(self.offloaded_per_busy.values()))
+
+    @property
+    def total_failed(self) -> float:
+        return float(sum(self.failed_per_busy.values()))
+
+    @property
+    def total_required(self) -> float:
+        return self.total_offloaded + self.total_failed
+
+    @property
+    def hfr_pct(self) -> float:
+        """Eq. 4; 0 when there was nothing to offload."""
+        required = self.total_required
+        if required <= _TOL:
+            return 0.0
+        return 100.0 * self.total_failed / required
+
+    @property
+    def fully_offloaded(self) -> bool:
+        return self.total_failed <= _TOL
+
+    @property
+    def nothing_offloaded(self) -> bool:
+        return self.total_offloaded <= _TOL and self.total_failed > _TOL
+
+
+def solve_heuristic(
+    problem: PlacementProblem,
+    hop_radius: int = 1,
+    convention: BandwidthConvention = BandwidthConvention.AVAILABLE,
+) -> HeuristicReport:
+    """Run Algorithm 1 (generalized to ``hop_radius``) on ``problem``.
+
+    The problem's ``max_hops`` is ignored: the heuristic's whole point
+    is the fixed small radius.
+    """
+    if hop_radius < 1:
+        raise PlacementError(f"hop_radius must be >= 1, got {hop_radius}")
+    start = time.perf_counter()
+    topology = problem.topology
+    candidate_index = {node: b for b, node in enumerate(problem.candidates)}
+    remaining_cd = problem.cd.copy()
+
+    model = ResponseTimeModel(
+        convention=convention, engine=PathEngine.DP, max_hops=hop_radius
+    )
+    weights = model.edge_weights(topology)
+
+    assignments: List[PlacementAssignment] = []
+    offloaded: Dict[int, float] = {}
+    failed: Dict[int, float] = {}
+
+    for a, busy in enumerate(problem.busy):
+        need = float(problem.cs[a])
+        offloaded[busy] = 0.0
+        failed[busy] = 0.0
+        if need <= _TOL:
+            continue
+        # Candidate lanes within the radius, priced per Eq. 1.
+        lanes: List[Tuple[float, int, int, object]] = []  # (cost, hops, cand, path)
+        if hop_radius == 1:
+            for nbr, edge_id in topology.incident(busy):
+                b = candidate_index.get(nbr)
+                if b is None or remaining_cd[b] <= _TOL:
+                    continue
+                cost = float(problem.data_mb[a] * weights[edge_id])
+                from repro.routing.routes import Path
+
+                path = Path(nodes=(busy, nbr), edges=(edge_id,))
+                lanes.append((cost, 1, b, path))
+        else:
+            from repro.routing.shortest import hop_constrained_shortest
+
+            result = hop_constrained_shortest(topology, busy, hop_radius, weights)
+            best = result.best
+            for node, b in candidate_index.items():
+                if node == busy or remaining_cd[b] <= _TOL:
+                    continue
+                if not np.isfinite(best[node]):
+                    continue
+                path = result.path_to(node)
+                cost = float(problem.data_mb[a] * best[node])
+                lanes.append((cost, path.num_hops if path else hop_radius, b, path))
+
+        # Cheapest-first fill (optimal for a single supply).
+        lanes.sort(key=lambda lane: (lane[0], lane[1]))
+        for cost, hops, b, path in lanes:
+            if need <= _TOL:
+                break
+            take = min(need, float(remaining_cd[b]))
+            if take <= _TOL:
+                continue
+            remaining_cd[b] -= take
+            need -= take
+            offloaded[busy] += take
+            assignments.append(
+                PlacementAssignment(
+                    busy=busy,
+                    candidate=problem.candidates[b],
+                    amount_pct=take,
+                    response_time_s=cost,
+                    hops=hops,
+                    route=path,
+                )
+            )
+        failed[busy] = max(0.0, need)
+
+    return HeuristicReport(
+        assignments=tuple(assignments),
+        offloaded_per_busy=offloaded,
+        failed_per_busy=failed,
+        total_seconds=time.perf_counter() - start,
+        hop_radius=hop_radius,
+    )

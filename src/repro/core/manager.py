@@ -1,0 +1,388 @@
+"""DUST-Manager: admission, NMDB upkeep, placement, post-offload care.
+
+The manager is "a decision node [that] defines the most optimized
+destination monitoring node by evaluating network resource utilization,
+monitoring capabilities, and the number of monitoring agents". This
+implementation runs three loops on the discrete-event engine:
+
+* **message handling** — Offload-capable → ACK (announcing the
+  Update-Interval Time), STAT → NMDB, Offload-ACK → ledger + Redirect,
+  Keepalive → tracker;
+* **optimization rounds** — periodically snapshot the NMDB, build the
+  Eq. 3 placement problem, solve it with the configured
+  :class:`~repro.core.placement.PlacementEngine` (optionally falling
+  back to Algorithm 1 when the ILP is infeasible), and send
+  Offload-Requests along the chosen controllable routes;
+* **keepalive sweeps** — expired destinations are evicted and their
+  workloads re-homed onto replicas via REP, or returned to their
+  sources via Reclaim when no replica fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.heuristic import solve_heuristic
+from repro.core.messages import (
+    Ack,
+    ControlMessage,
+    Keepalive,
+    OffloadAck,
+    OffloadCapable,
+    OffloadRequest,
+    Reclaim,
+    Redirect,
+    Rep,
+    Stat,
+)
+from repro.core.nmdb import NMDB
+from repro.core.offload import ActiveOffload, OffloadLedger
+from repro.core.placement import PlacementEngine, PlacementProblem, PlacementReport
+from repro.core.postoffload import KeepaliveTracker, ReplicaSelector
+from repro.core.thresholds import ThresholdPolicy
+from repro.errors import ProtocolError
+from repro.routing.response_time import PathEngine, ResponseTimeModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network_sim import Message, MessageNetwork
+from repro.topology.graph import Topology
+
+
+@dataclass
+class ManagerCounters:
+    """Observable manager activity, consumed by experiments and tests."""
+
+    acks_sent: int = 0
+    stats_received: int = 0
+    optimization_rounds: int = 0
+    infeasible_rounds: int = 0
+    heuristic_fallbacks: int = 0
+    offload_requests_sent: int = 0
+    offloads_established: int = 0
+    offloads_rejected: int = 0
+    keepalives_received: int = 0
+    destinations_failed: int = 0
+    replicas_installed: int = 0
+    workloads_returned: int = 0
+    reclaims_issued: int = 0
+
+
+@dataclass(frozen=True)
+class _PendingRequest:
+    source: int
+    destination: int
+    amount_pct: float
+    route: Tuple[int, ...]
+    via_replica: bool = False
+    created_at: float = 0.0
+
+
+class DUSTManager:
+    """Cloud-based coordination point of a DUST deployment."""
+
+    def __init__(
+        self,
+        node_id: int,
+        topology: Topology,
+        engine: SimulationEngine,
+        network: MessageNetwork,
+        policy: ThresholdPolicy,
+        placement_engine: Optional[PlacementEngine] = None,
+        update_interval_s: float = 60.0,
+        optimization_period_s: float = 60.0,
+        keepalive_timeout_s: float = 30.0,
+        max_hops: Optional[int] = None,
+        heuristic_fallback: bool = True,
+        reclaim_hysteresis_pct: float = 5.0,
+    ) -> None:
+        self.node_id = node_id
+        self.topology = topology
+        self.engine = engine
+        self.network = network
+        self.policy = policy
+        self.nmdb = NMDB(topology, policy)
+        self.placement_engine = placement_engine or PlacementEngine(
+            response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops)
+        )
+        self.update_interval_s = update_interval_s
+        self.optimization_period_s = optimization_period_s
+        self.keepalive_timeout_s = keepalive_timeout_s
+        self.max_hops = max_hops
+        self.heuristic_fallback = heuristic_fallback
+        self.reclaim_hysteresis_pct = reclaim_hysteresis_pct
+        #: A node whose last STAT is older than this is treated as gone.
+        self.stale_after_s = 2.5 * update_interval_s
+
+        self.ledger = OffloadLedger()
+        self.keepalives = KeepaliveTracker(keepalive_timeout_s)
+        self.replica_selector = ReplicaSelector(
+            ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops)
+        )
+        self.counters = ManagerCounters()
+        self.placement_history: List[PlacementReport] = []
+        self._pending: Dict[Tuple[int, int], _PendingRequest] = {}
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------------
+    def start(self) -> None:
+        """Register on the network and start the periodic loops."""
+        if self._started:
+            raise ProtocolError("manager already started")
+        self._started = True
+        self.network.register(self.node_id, self._receive)
+        self.engine.schedule_periodic(
+            self.optimization_period_s,
+            lambda engine: self.run_optimization_round(),
+            label="manager-optimize",
+        )
+        self.engine.schedule_periodic(
+            self.keepalive_timeout_s / 2.0,
+            lambda engine: self.run_keepalive_sweep(),
+            label="manager-keepalive-sweep",
+        )
+
+    # -- message plane ------------------------------------------------------------------
+    def _receive(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, OffloadCapable):
+            self.nmdb.register_capability(payload)
+            self.counters.acks_sent += 1
+            self.network.send(
+                self.node_id,
+                payload.node_id,
+                Ack(node_id=payload.node_id, update_interval_s=self.update_interval_s),
+            )
+        elif isinstance(payload, Stat):
+            self.counters.stats_received += 1
+            self.nmdb.apply_stat(payload)
+            self._maybe_reclaim(payload)
+        elif isinstance(payload, OffloadAck):
+            self._on_offload_ack(payload)
+        elif isinstance(payload, Keepalive):
+            self.counters.keepalives_received += 1
+            self.keepalives.record(payload.node_id, payload.timestamp)
+        elif isinstance(payload, ControlMessage):
+            raise ProtocolError(f"manager cannot handle {payload.type.value!r}")
+        else:
+            raise ProtocolError("manager received non-DUST payload")
+
+    def _on_offload_ack(self, ack: OffloadAck) -> None:
+        pending = self._pending.pop((ack.source, ack.destination), None)
+        if pending is None:
+            raise ProtocolError(
+                f"unexpected Offload-ACK for {ack.source}->{ack.destination}"
+            )
+        if not ack.accepted:
+            self.counters.offloads_rejected += 1
+            return
+        self.counters.offloads_established += 1
+        self.ledger.add(
+            ActiveOffload(
+                source=pending.source,
+                destination=pending.destination,
+                amount_pct=pending.amount_pct,
+                route=pending.route,
+                established_at=self.engine.now,
+                via_replica=pending.via_replica,
+            )
+        )
+        self.keepalives.watch(pending.destination, self.engine.now)
+        # The source is redirected for fresh offloads *and* for replica
+        # substitutions — in the latter case its stale mapping to the
+        # failed destination was already cancelled during the sweep.
+        self.network.send(
+            self.node_id,
+            pending.source,
+            Redirect(
+                source=pending.source,
+                destination=pending.destination,
+                amount_pct=pending.amount_pct,
+                route=pending.route,
+            ),
+        )
+
+    # -- optimization rounds ----------------------------------------------------------------
+    def run_optimization_round(self) -> Optional[PlacementReport]:
+        """One manager decision cycle; returns the placement report (or
+        ``None`` when there was nothing to do)."""
+        self.counters.optimization_rounds += 1
+        # Expire pending requests whose request or reply was lost (e.g.
+        # the endpoint died in flight) so their nodes are not excluded
+        # from placement forever.
+        deadline = self.engine.now - 2.0 * self.optimization_period_s
+        for key in [k for k, p in self._pending.items() if p.created_at < deadline]:
+            del self._pending[key]
+        snapshot = self.nmdb.snapshot(self.engine.now)
+        # Nodes with in-flight requests are skipped this round to avoid
+        # double-committing the same excess/space; nodes whose STATs
+        # have gone stale (crashed or never admitted) are excluded
+        # entirely — their NMDB record no longer reflects reality.
+        in_flight_sources = {p.source for p in self._pending.values()}
+        in_flight_dests = {p.destination for p in self._pending.values()}
+        stale = set(self.nmdb.stale_nodes(self.engine.now, self.stale_after_s))
+        busy = [
+            b
+            for b in snapshot.busy
+            if b not in in_flight_sources and b != self.node_id and b not in stale
+        ]
+        candidates = [
+            c
+            for c in snapshot.candidates
+            if c not in in_flight_dests and c != self.node_id and c not in stale
+        ]
+        if not busy:
+            return None
+        problem = PlacementProblem(
+            topology=self.topology,
+            busy=tuple(busy),
+            candidates=tuple(candidates),
+            cs=np.array([self.policy.excess_load(snapshot.capacities[b]) for b in busy]),
+            cd=np.array(
+                [self.policy.spare_capacity(snapshot.capacities[c]) for c in candidates]
+            ),
+            data_mb=snapshot.data_mb[busy],
+            max_hops=self.max_hops,
+        )
+        report = self.placement_engine.solve(problem)
+        self.placement_history.append(report)
+        assignments = report.assignments
+        if not report.feasible:
+            self.counters.infeasible_rounds += 1
+            if self.heuristic_fallback:
+                # Partial relief beats none: Algorithm 1 places whatever
+                # fits one hop away even when Eq. 3 has no full solution.
+                self.counters.heuristic_fallbacks += 1
+                assignments = solve_heuristic(problem).assignments
+            else:
+                return report
+        for assignment in assignments:
+            route = (
+                tuple(assignment.route.nodes)
+                if assignment.route is not None
+                else (assignment.busy, assignment.candidate)
+            )
+            request = OffloadRequest(
+                destination=assignment.candidate,
+                source=assignment.busy,
+                amount_pct=assignment.amount_pct,
+                data_mb=float(
+                    snapshot.data_mb[assignment.busy]
+                    * assignment.amount_pct
+                    / max(self.policy.excess_load(snapshot.capacities[assignment.busy]), 1e-9)
+                ),
+                route=route,
+            )
+            self._pending[(assignment.busy, assignment.candidate)] = _PendingRequest(
+                source=assignment.busy,
+                destination=assignment.candidate,
+                amount_pct=assignment.amount_pct,
+                route=route,
+                created_at=self.engine.now,
+            )
+            self.counters.offload_requests_sent += 1
+            self.network.send(self.node_id, assignment.candidate, request)
+        return report
+
+    # -- keepalive sweeps --------------------------------------------------------------------
+    def run_keepalive_sweep(self) -> List[int]:
+        """Evict expired destinations, re-home their workloads; returns
+        the failed destinations."""
+        failed = [
+            node
+            for node in self.keepalives.expired(self.engine.now)
+            if self.ledger.hosted_by(node)
+        ]
+        if not failed:
+            return []
+        snapshot = self.nmdb.snapshot(self.engine.now)
+        stale = set(self.nmdb.stale_nodes(self.engine.now, self.stale_after_s))
+        for dest in failed:
+            self.counters.destinations_failed += 1
+            # Aggregate per source: the ledger may hold several rows for
+            # one (source, dest) pair, and re-homing them separately
+            # would duplicate REPs to the same replica.
+            evicted_by_source: Dict[int, float] = {}
+            for row in self.ledger.evict_destination(dest):
+                evicted_by_source[row.source] = (
+                    evicted_by_source.get(row.source, 0.0) + row.amount_pct
+                )
+            evicted = [
+                ActiveOffload(
+                    source=source,
+                    destination=dest,
+                    amount_pct=amount,
+                    route=(source, dest),
+                    established_at=self.engine.now,
+                )
+                for source, amount in sorted(evicted_by_source.items())
+            ]
+            self.keepalives.forget(dest)
+            for offload in evicted:
+                # Cancel the source's mapping to the dead destination up
+                # front; a replica Redirect (or nothing, if the load
+                # returns home) follows below.
+                self.network.send(
+                    self.node_id,
+                    offload.source,
+                    Reclaim(
+                        source=offload.source,
+                        destination=dest,
+                        amount_pct=offload.amount_pct,
+                    ),
+                )
+                replica = self.replica_selector.select(
+                    self.topology,
+                    source=offload.source,
+                    amount_pct=offload.amount_pct,
+                    data_mb=float(snapshot.data_mb[offload.source]),
+                    capacities=snapshot.capacities,
+                    policy=self.policy,
+                    exclude=[dest, self.node_id, *stale],
+                )
+                if replica is None:
+                    # No replica fits: the up-front Reclaim already
+                    # returned the workload home.
+                    self.counters.workloads_returned += 1
+                    continue
+                self.counters.replicas_installed += 1
+                route = (offload.source, replica)
+                self._pending[(offload.source, replica)] = _PendingRequest(
+                    source=offload.source,
+                    destination=replica,
+                    amount_pct=offload.amount_pct,
+                    route=route,
+                    via_replica=True,
+                    created_at=self.engine.now,
+                )
+                self.network.send(
+                    self.node_id,
+                    replica,
+                    Rep(
+                        replica=replica,
+                        failed_destination=dest,
+                        source=offload.source,
+                        amount_pct=offload.amount_pct,
+                        route=route,
+                    ),
+                )
+        return failed
+
+    # -- reclaim --------------------------------------------------------------------------------
+    def _maybe_reclaim(self, stat: Stat) -> None:
+        """If a source has recovered enough headroom to absorb its own
+        offloaded load, return it (hysteresis avoids flapping)."""
+        offloaded = self.ledger.offloaded_amount(stat.node_id)
+        if offloaded <= 0:
+            return
+        if stat.capacity_pct + offloaded <= self.policy.c_max - self.reclaim_hysteresis_pct:
+            for offload in self.ledger.reclaim(stat.node_id):
+                self.counters.reclaims_issued += 1
+                reclaim = Reclaim(
+                    source=offload.source,
+                    destination=offload.destination,
+                    amount_pct=offload.amount_pct,
+                )
+                self.network.send(self.node_id, offload.destination, reclaim)
+                self.network.send(self.node_id, offload.source, reclaim)

@@ -1,0 +1,182 @@
+"""DUST control-plane message vocabulary (paper Section III-B/C).
+
+The workflow:
+
+1. every client sends **Offload-capable** (1 = willing, 0 =
+   None-offloading) with its ``C_max``/``CO_max`` thresholds;
+2. the manager replies **ACK**, carrying the *Update-Interval Time*;
+3. clients then send periodic **STAT** reports regardless of role;
+4. on placement, the manager sends **Offload-Request** to the selected
+   destination, answered by **Offload-ACK**; sources are told where to
+   redirect with **Redirect** (implied by the paper's "monitoring data
+   D_i … is subsequently redirected");
+5. destinations send **Keepalive** while hosting; a missed keepalive
+   makes the manager substitute a replica and announce it via **REP**.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+_message_counter = itertools.count()
+
+
+class MessageType(enum.Enum):
+    OFFLOAD_CAPABLE = "offload-capable"
+    ACK = "ack"
+    STAT = "stat"
+    OFFLOAD_REQUEST = "offload-request"
+    OFFLOAD_ACK = "offload-ack"
+    REDIRECT = "redirect"
+    KEEPALIVE = "keepalive"
+    REP = "rep"
+    RECLAIM = "reclaim"
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Base class: every message carries a type tag and a unique id."""
+
+    msg_id: int = field(default_factory=lambda: next(_message_counter), init=False)
+
+    @property
+    def type(self) -> MessageType:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OffloadCapable(ControlMessage):
+    """Client → Manager: participation declaration + thresholds."""
+
+    node_id: int
+    capable: bool
+    c_max: float
+    co_max: float
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.OFFLOAD_CAPABLE
+
+
+@dataclass(frozen=True)
+class Ack(ControlMessage):
+    """Manager → Client: admission + Update-Interval Time (seconds)."""
+
+    node_id: int
+    update_interval_s: float
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.ACK
+
+
+@dataclass(frozen=True)
+class Stat(ControlMessage):
+    """Client → Manager: periodic resource report.
+
+    ``capacity_pct`` is the node's utilized capacity ``C_j``;
+    ``data_mb`` the monitoring volume ``D_i`` it would export if
+    offloaded; ``num_agents`` the installed monitor-agent count.
+    """
+
+    node_id: int
+    capacity_pct: float
+    data_mb: float
+    num_agents: int
+    timestamp: float
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.STAT
+
+
+@dataclass(frozen=True)
+class OffloadRequest(ControlMessage):
+    """Manager → destination: host ``amount_pct`` of ``source``'s
+    monitoring load, reached over ``route`` (node-id tuple)."""
+
+    destination: int
+    source: int
+    amount_pct: float
+    data_mb: float
+    route: Tuple[int, ...]
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.OFFLOAD_REQUEST
+
+
+@dataclass(frozen=True)
+class OffloadAck(ControlMessage):
+    """Destination → Manager: accept/reject a hosting request."""
+
+    destination: int
+    source: int
+    accepted: bool
+    reason: str = ""
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.OFFLOAD_ACK
+
+
+@dataclass(frozen=True)
+class Redirect(ControlMessage):
+    """Manager → source (Busy node): redirect ``amount_pct`` of its
+    monitoring workload to ``destination`` along ``route``."""
+
+    source: int
+    destination: int
+    amount_pct: float
+    route: Tuple[int, ...]
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.REDIRECT
+
+
+@dataclass(frozen=True)
+class Keepalive(ControlMessage):
+    """Destination → Manager: hosting heartbeat."""
+
+    node_id: int
+    hosted_sources: Tuple[int, ...]
+    timestamp: float
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.KEEPALIVE
+
+
+@dataclass(frozen=True)
+class Rep(ControlMessage):
+    """Manager → replica node: take over a failed destination's hosted
+    workload (the paper's REP message)."""
+
+    replica: int
+    failed_destination: int
+    source: int
+    amount_pct: float
+    route: Tuple[int, ...]
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.REP
+
+
+@dataclass(frozen=True)
+class Reclaim(ControlMessage):
+    """Manager → destination: the source has spare capacity again and
+    reclaims its workload ("a Busy node … reclaim its local resources
+    when they become available")."""
+
+    source: int
+    destination: int
+    amount_pct: float
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.RECLAIM

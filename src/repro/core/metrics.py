@@ -1,0 +1,131 @@
+"""Evaluation metrics: HFR, io-rate, Fig. 9 success categories.
+
+These are the quantities the paper's evaluation section reports:
+
+* **HFR** (Eq. 4) — fraction of required offload the one-hop heuristic
+  could not place;
+* **Infeasible Optimization (io) rate** (Fig. 7) — fraction of random
+  network states whose Eq. 3 program is infeasible;
+* **success categories** (Fig. 9) — per-iteration comparison of the
+  heuristic against the ILP: *full* (heuristic placed everything),
+  *zero* (heuristic placed nothing while the ILP succeeded), *partial*
+  (the rest).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.heuristic import HeuristicReport
+from repro.core.placement import PlacementReport
+from repro.lp.result import SolveStatus
+
+_TOL = 1e-9
+
+
+def hfr_pct(failed: Sequence[float], required: Sequence[float]) -> float:
+    """Eq. 4 from raw per-busy-node amounts (0 when nothing required)."""
+    req = float(np.sum(np.asarray(required, dtype=float)))
+    if req <= _TOL:
+        return 0.0
+    fail = float(np.sum(np.asarray(failed, dtype=float)))
+    return 100.0 * fail / req
+
+
+def infeasible_rate_pct(statuses: Iterable[SolveStatus]) -> float:
+    """Share of solves that ended INFEASIBLE, in percent."""
+    statuses = list(statuses)
+    if not statuses:
+        return 0.0
+    infeasible = sum(1 for s in statuses if s is SolveStatus.INFEASIBLE)
+    return 100.0 * infeasible / len(statuses)
+
+
+class SuccessCategory(enum.Enum):
+    """Fig. 9 taxonomy for one iteration."""
+
+    HEURISTIC_FULL = "heuristic-full"  # heuristic offloaded all overload
+    HEURISTIC_ZERO = "heuristic-zero"  # heuristic placed nothing, ILP succeeded
+    PARTIAL = "partial"  # heuristic placed some, ILP finished the rest
+    BOTH_INFEASIBLE = "both-infeasible"  # not plotted by the paper; tracked anyway
+    NO_OVERLOAD = "no-overload"  # degenerate iteration without busy nodes
+
+
+def categorize_iteration(
+    heuristic: HeuristicReport, ilp: PlacementReport
+) -> SuccessCategory:
+    """Classify one random network state per Fig. 9's buckets."""
+    if heuristic.total_required <= _TOL:
+        return SuccessCategory.NO_OVERLOAD
+    if heuristic.fully_offloaded:
+        return SuccessCategory.HEURISTIC_FULL
+    if not ilp.feasible:
+        return SuccessCategory.BOTH_INFEASIBLE
+    if heuristic.nothing_offloaded:
+        return SuccessCategory.HEURISTIC_ZERO
+    return SuccessCategory.PARTIAL
+
+
+@dataclass(frozen=True)
+class SuccessRateSummary:
+    """Aggregated Fig. 9 percentages over many iterations."""
+
+    counts: Dict[SuccessCategory, int]
+
+    @property
+    def total_considered(self) -> int:
+        """Iterations with real overload and a feasible comparison."""
+        return sum(
+            self.counts.get(cat, 0)
+            for cat in (
+                SuccessCategory.HEURISTIC_FULL,
+                SuccessCategory.HEURISTIC_ZERO,
+                SuccessCategory.PARTIAL,
+            )
+        )
+
+    def pct(self, category: SuccessCategory) -> float:
+        total = self.total_considered
+        if total == 0:
+            return 0.0
+        return 100.0 * self.counts.get(category, 0) / total
+
+
+def summarize_categories(categories: Iterable[SuccessCategory]) -> SuccessRateSummary:
+    counts: Dict[SuccessCategory, int] = {}
+    for cat in categories:
+        counts[cat] = counts.get(cat, 0) + 1
+    return SuccessRateSummary(counts=counts)
+
+
+def mean_hops(report: PlacementReport) -> float:
+    """Load-weighted mean hop count of a placement (the paper's
+    "number of hops required to reach the destination" metric)."""
+    if not report.assignments:
+        return float("nan")
+    amounts = np.array([a.amount_pct for a in report.assignments])
+    hops = np.array([a.hops for a in report.assignments], dtype=float)
+    total = amounts.sum()
+    if total <= _TOL:
+        return float("nan")
+    return float((amounts * hops).sum() / total)
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> float:
+    """Least-squares exponent of ``y ~ x^a`` (log–log regression).
+
+    Used to check Fig. 11a's claim that HFR falls with network size
+    roughly as a power law with exponent ≈ −0.5.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.size != ya.size or xa.size < 2:
+        raise ValueError("need at least two (x, y) points with matching shapes")
+    if (xa <= 0).any() or (ya <= 0).any():
+        raise ValueError("power-law fit requires strictly positive data")
+    slope, _ = np.polyfit(np.log(xa), np.log(ya), 1)
+    return float(slope)

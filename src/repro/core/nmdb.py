@@ -1,0 +1,171 @@
+"""Network Monitoring DataBase (NMDB) — the DUST-Manager's state store.
+
+Per the paper, NMDB keeps "the current network status and utilization
+(e.g., network topologies, link utilization) and nodes' monitoring and
+offloading capabilities (e.g., resource utilization, number of
+user-defined monitoring requests, offloading capabilities and
+variables)". The optimization engine reads a consistent
+:class:`NetworkSnapshot` out of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.messages import OffloadCapable, Stat
+from repro.core.roles import NodeRole, RoleAssignment, classify_network
+from repro.core.thresholds import ThresholdPolicy
+from repro.errors import ProtocolError
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Latest known state of one client node."""
+
+    node_id: int
+    capable: bool = True
+    capacity_pct: float = 0.0
+    data_mb: float = 0.0
+    num_agents: int = 0
+    c_max: Optional[float] = None  # client-announced override
+    co_max: Optional[float] = None
+    last_stat_time: float = float("-inf")
+
+
+@dataclass(frozen=True)
+class NetworkSnapshot:
+    """Consistent placement input assembled from NMDB state."""
+
+    capacities: np.ndarray  # percent, indexed by node id
+    data_mb: np.ndarray  # D_i per node
+    participating: np.ndarray  # bool mask
+    roles: RoleAssignment
+    policy: ThresholdPolicy
+    timestamp: float
+
+    @property
+    def busy(self) -> List[int]:
+        return self.roles.busy
+
+    @property
+    def candidates(self) -> List[int]:
+        return self.roles.candidates
+
+    def excess_loads(self) -> np.ndarray:
+        """``Cs_i`` for each busy node, ordered like :attr:`busy`."""
+        return np.array([self.policy.excess_load(self.capacities[i]) for i in self.busy])
+
+    def spare_capacities(self) -> np.ndarray:
+        """``Cd_j`` for each candidate, ordered like :attr:`candidates`."""
+        return np.array(
+            [self.policy.spare_capacity(self.capacities[j]) for j in self.candidates]
+        )
+
+
+class NMDB:
+    """Mutable manager-side store fed by Offload-capable and STAT
+    messages; also owns the topology reference."""
+
+    def __init__(self, topology: Topology, policy: ThresholdPolicy) -> None:
+        self.topology = topology
+        self.policy = policy
+        self._records: Dict[int, NodeRecord] = {
+            node.node_id: NodeRecord(node_id=node.node_id) for node in topology.nodes
+        }
+
+    # -- ingestion -----------------------------------------------------------------
+    def register_capability(self, msg: OffloadCapable) -> None:
+        """Apply an Offload-capable declaration."""
+        rec = self._record(msg.node_id)
+        self._records[msg.node_id] = replace(
+            rec, capable=msg.capable, c_max=msg.c_max, co_max=msg.co_max
+        )
+
+    def apply_stat(self, msg: Stat) -> None:
+        """Apply a STAT report (stale reports are rejected)."""
+        rec = self._record(msg.node_id)
+        if msg.timestamp < rec.last_stat_time:
+            raise ProtocolError(
+                f"out-of-order STAT from node {msg.node_id}: "
+                f"{msg.timestamp} < {rec.last_stat_time}"
+            )
+        self._records[msg.node_id] = replace(
+            rec,
+            capacity_pct=msg.capacity_pct,
+            data_mb=msg.data_mb,
+            num_agents=msg.num_agents,
+            last_stat_time=msg.timestamp,
+        )
+
+    def set_capacity(self, node_id: int, capacity_pct: float) -> None:
+        """Direct capacity write (used by simulators that bypass the
+        message plane)."""
+        rec = self._record(node_id)
+        self._records[node_id] = replace(rec, capacity_pct=capacity_pct)
+
+    def bulk_set_capacities(self, capacities: np.ndarray, data_mb: Optional[np.ndarray] = None) -> None:
+        """Set every node's capacity (and optionally D_i) at once."""
+        caps = np.asarray(capacities, dtype=float)
+        if caps.size != self.topology.num_nodes:
+            raise ProtocolError(
+                f"expected {self.topology.num_nodes} capacities, got {caps.size}"
+            )
+        if data_mb is not None:
+            data = np.asarray(data_mb, dtype=float)
+            if data.shape != caps.shape:
+                raise ProtocolError("data_mb shape must match capacities")
+        for node_id in range(caps.size):
+            rec = self._record(node_id)
+            self._records[node_id] = replace(
+                rec,
+                capacity_pct=float(caps[node_id]),
+                data_mb=float(data[node_id]) if data_mb is not None else rec.data_mb,
+            )
+
+    # -- reads -----------------------------------------------------------------------
+    def _record(self, node_id: int) -> NodeRecord:
+        try:
+            return self._records[node_id]
+        except KeyError:
+            raise ProtocolError(f"unknown node {node_id} in NMDB") from None
+
+    def record(self, node_id: int) -> NodeRecord:
+        """Public read of one node's record."""
+        return self._record(node_id)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    def stale_nodes(self, now: float, max_age_s: float) -> List[int]:
+        """Nodes whose last STAT is older than ``max_age_s``."""
+        return [
+            nid
+            for nid, rec in self._records.items()
+            if now - rec.last_stat_time > max_age_s
+        ]
+
+    def snapshot(self, now: float = 0.0) -> NetworkSnapshot:
+        """Assemble the placement input from current records."""
+        n = self.topology.num_nodes
+        caps = np.zeros(n)
+        data = np.zeros(n)
+        part = np.zeros(n, dtype=bool)
+        for node_id in range(n):
+            rec = self._records[node_id]
+            caps[node_id] = rec.capacity_pct
+            data[node_id] = rec.data_mb
+            part[node_id] = rec.capable
+        roles = classify_network(caps, self.policy, part)
+        return NetworkSnapshot(
+            capacities=caps,
+            data_mb=data,
+            participating=part,
+            roles=roles,
+            policy=self.policy,
+            timestamp=now,
+        )

@@ -1,0 +1,170 @@
+"""Network Monitor Service (NMS) — Fig. 2's monitoring front-end.
+
+Per the architecture: *"Our 'Network Monitor Service' (NMS) can
+initiate network monitoring either based on user input or through
+automated triggers. NMS collects a comprehensive set of metrics for the
+service and then transmits the pertinent information to the DUST
+client, effectively creating a 'Monitor Agent' for each required
+metric."*
+
+:class:`NetworkMonitorService` turns a monitoring *request* (a set of
+metrics with thresholds) into concrete agent installs on a device,
+threshold rules in its TSDB, and — via :meth:`poll_triggers` — the
+automated alerts that feed DUST's Busy detection. The catalog maps
+metric names to the paper's ten agents, so requesting ``cpu_pct`` and
+``rx_pps`` installs exactly the agents that emit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import TelemetryError
+from repro.telemetry.agents import MonitorAgentSpec, paper_agent_specs
+from repro.telemetry.device import NetworkDevice
+from repro.telemetry.tsdb import ThresholdRule
+
+
+@dataclass(frozen=True)
+class MonitoringRequest:
+    """One user- or trigger-originated monitoring ask.
+
+    Attributes
+    ----------
+    name:
+        Request identity (unique per service).
+    metrics:
+        Metric names to monitor (must exist in the agent catalog).
+    alert_above:
+        Optional per-metric upper alert bounds; a
+        :class:`~repro.telemetry.tsdb.ThresholdRule` is installed for
+        each, evaluated by :meth:`NetworkMonitorService.poll_triggers`.
+    window_s:
+        Aggregation window for the alert rules.
+    """
+
+    name: str
+    metrics: Tuple[str, ...]
+    alert_above: Mapping[str, float] = field(default_factory=dict)
+    window_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise TelemetryError(f"request {self.name!r} names no metrics")
+        unknown = set(self.alert_above) - set(self.metrics)
+        if unknown:
+            raise TelemetryError(
+                f"request {self.name!r} sets alerts on unmonitored metrics "
+                f"{sorted(unknown)}"
+            )
+        if self.window_s <= 0:
+            raise TelemetryError("alert window must be positive")
+
+
+def default_catalog() -> Dict[str, MonitorAgentSpec]:
+    """Metric name → emitting agent, from the paper's ten-agent set."""
+    catalog: Dict[str, MonitorAgentSpec] = {}
+    for spec in paper_agent_specs():
+        for metric in spec.emits:
+            catalog[metric] = spec
+    return catalog
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """One fired alert, consumed by DUST's automated workflows."""
+
+    device: str
+    request: str
+    rule: str
+    timestamp: float
+
+
+class NetworkMonitorService:
+    """Maps monitoring requests onto device agents and alert rules."""
+
+    def __init__(self, catalog: Optional[Mapping[str, MonitorAgentSpec]] = None) -> None:
+        self.catalog: Dict[str, MonitorAgentSpec] = dict(catalog or default_catalog())
+        self._requests: Dict[str, Tuple[MonitoringRequest, NetworkDevice]] = {}
+        self.trigger_log: List[TriggerEvent] = []
+
+    # -- catalog ------------------------------------------------------------------
+    def agents_for(self, metrics: Sequence[str]) -> List[MonitorAgentSpec]:
+        """Deduplicated agent set needed to observe ``metrics``."""
+        specs: Dict[str, MonitorAgentSpec] = {}
+        for metric in metrics:
+            try:
+                spec = self.catalog[metric]
+            except KeyError:
+                raise TelemetryError(
+                    f"no agent in the catalog emits metric {metric!r}"
+                ) from None
+            specs[spec.name] = spec
+        return list(specs.values())
+
+    # -- request lifecycle -----------------------------------------------------------
+    def submit(self, request: MonitoringRequest, device: NetworkDevice) -> List[str]:
+        """Install the agents and rules a request needs; returns the
+        names of agents newly installed on the device."""
+        if request.name in self._requests:
+            raise TelemetryError(f"request {request.name!r} already active")
+        installed: List[str] = []
+        present = set(device.local_agents) | set(device.offloaded_agents)
+        for spec in self.agents_for(request.metrics):
+            if spec.name not in present:
+                device.install_agent(spec)
+                installed.append(spec.name)
+        for metric, bound in request.alert_above.items():
+            device.tsdb.add_rule(
+                ThresholdRule(
+                    name=f"{request.name}/{metric}",
+                    series=_tagged_series(metric, device),
+                    window_s=request.window_s,
+                    aggregate="mean",
+                    comparison=">",
+                    bound=float(bound),
+                )
+            )
+        self._requests[request.name] = (request, device)
+        return installed
+
+    def withdraw(self, request_name: str) -> None:
+        """Remove a request's alert rules (agents stay — other requests
+        or baseline monitoring may share them)."""
+        try:
+            request, device = self._requests.pop(request_name)
+        except KeyError:
+            raise TelemetryError(f"unknown request {request_name!r}") from None
+        for metric in request.alert_above:
+            device.tsdb.remove_rule(f"{request.name}/{metric}")
+
+    @property
+    def active_requests(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._requests))
+
+    # -- automated triggers -------------------------------------------------------------
+    def poll_triggers(self, now: float) -> List[TriggerEvent]:
+        """Evaluate every active request's rules; fired rules become
+        :class:`TriggerEvent` entries (also appended to the log)."""
+        events: List[TriggerEvent] = []
+        for name, (request, device) in self._requests.items():
+            for rule_name in device.tsdb.evaluate_rules(now):
+                if not rule_name.startswith(f"{name}/"):
+                    continue
+                event = TriggerEvent(
+                    device=device.profile.name,
+                    request=name,
+                    rule=rule_name,
+                    timestamp=now,
+                )
+                events.append(event)
+                self.trigger_log.append(event)
+        return events
+
+
+def _tagged_series(metric: str, device: NetworkDevice) -> str:
+    """Series key as written by a locally installed agent."""
+    from repro.telemetry.tsdb import series_key
+
+    return series_key(metric, {"device": device.profile.name})

@@ -1,0 +1,420 @@
+"""Optimal monitoring placement — the paper's Eq. 3 program.
+
+Given Busy nodes ``V_b`` with excess loads ``Cs_i`` and candidates
+``V_o`` with spare capacities ``Cd_j``, minimize
+
+    β = Σ_i Σ_j  x_ij · Trmin_ij
+
+subject to Σ_i x_ij ≤ Cd_j (3a), Σ_j x_ij = Cs_i (3b), x ≥ 0 —
+where ``Trmin_ij`` is the minimum response time over all hop-bounded
+paths (Eq. 2). The solve decomposes exactly as the paper's simulator
+does:
+
+1. **route pricing** — compute the ``Trmin`` matrix with the configured
+   :class:`~repro.routing.response_time.ResponseTimeModel` (exhaustive
+   enumeration by default: this step, not the LP, dominates the
+   measured computation time and produces the max-hop blowup of
+   Figs. 8/10);
+2. **LP solve** — by default the exact transportation solver
+   (:mod:`repro.lp.transportation`); ``scipy`` (HiGHS, the Gurobi
+   stand-in) and the from-scratch ``simplex`` are selectable.
+
+Pairs with no path within ``max_hops`` get no shipping lane; if the
+remaining lanes cannot absorb all excess load, the solution status is
+``INFEASIBLE`` — the *Infeasible Optimization* event counted by Fig. 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.nmdb import NetworkSnapshot
+from repro.errors import PlacementError
+from repro.lp import (
+    LinearProgram,
+    SolveStatus,
+    TransportationProblem,
+    lp_sum,
+    solve_branch_and_bound,
+    solve_scipy,
+    solve_simplex,
+    solve_transportation,
+)
+from repro.routing.response_time import PathEngine, ResponseTimeModel
+from repro.routing.routes import Path
+from repro.topology.graph import Topology
+
+#: Flows below this are dropped from the assignment list (numerical dust).
+_FLOW_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """One placement instance, fully specified.
+
+    ``cs[a]`` / ``data_mb[a]`` belong to ``busy[a]``; ``cd[b]`` belongs
+    to ``candidates[b]``. Capacities are in percentage points of node
+    capacity (the paper's homogeneity assumption makes points
+    transferable 1:1); ``data_mb`` is the exported volume ``D_i``.
+    """
+
+    topology: Topology
+    busy: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+    cs: np.ndarray
+    cd: np.ndarray
+    data_mb: np.ndarray
+    max_hops: Optional[int] = None
+    #: Heterogeneity coefficients ``h_ij``: one percentage point
+    #: released at busy node ``i`` consumes ``h_ij`` points at candidate
+    #: ``j`` (the paper's "coefficient factor relating two endpoint
+    #: platform capacities"). ``None`` means homogeneous (all ones).
+    capacity_coefficients: Optional[np.ndarray] = None
+    #: When ``True``, offload amounts are restricted to whole units
+    #: (whole monitor agents rather than fractional capacity) — the
+    #: integral-ILP variant, solved by branch and bound.
+    integral: bool = False
+
+    def __post_init__(self) -> None:
+        cs = np.asarray(self.cs, dtype=float)
+        cd = np.asarray(self.cd, dtype=float)
+        data = np.asarray(self.data_mb, dtype=float)
+        object.__setattr__(self, "cs", cs)
+        object.__setattr__(self, "cd", cd)
+        object.__setattr__(self, "data_mb", data)
+        if cs.shape != (len(self.busy),):
+            raise PlacementError(
+                f"cs has shape {cs.shape}, expected ({len(self.busy)},)"
+            )
+        if data.shape != (len(self.busy),):
+            raise PlacementError(
+                f"data_mb has shape {data.shape}, expected ({len(self.busy)},)"
+            )
+        if cd.shape != (len(self.candidates),):
+            raise PlacementError(
+                f"cd has shape {cd.shape}, expected ({len(self.candidates)},)"
+            )
+        if (cs < 0).any() or (cd < 0).any() or (data < 0).any():
+            raise PlacementError("cs, cd and data_mb must be non-negative")
+        overlap = set(self.busy) & set(self.candidates)
+        if overlap:
+            raise PlacementError(
+                f"nodes {sorted(overlap)} appear as both busy and candidate"
+            )
+        if self.capacity_coefficients is not None:
+            coeff = np.asarray(self.capacity_coefficients, dtype=float)
+            object.__setattr__(self, "capacity_coefficients", coeff)
+            if coeff.shape != (len(self.busy), len(self.candidates)):
+                raise PlacementError(
+                    f"capacity_coefficients shape {coeff.shape} must be "
+                    f"({len(self.busy)}, {len(self.candidates)})"
+                )
+            if (coeff <= 0).any():
+                raise PlacementError("capacity coefficients must be positive")
+        if self.integral:
+            if not np.allclose(cs, np.round(cs)):
+                raise PlacementError(
+                    "integral placement requires integer excess loads "
+                    "(whole monitor-agent units)"
+                )
+        for node in (*self.busy, *self.candidates):
+            self.topology.node(node)  # validates existence
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when the paper's 1:1 capacity-transfer assumption holds."""
+        return self.capacity_coefficients is None
+
+    @property
+    def total_excess(self) -> float:
+        """Total load to offload, ``Cs = Σ Cs_i``."""
+        return float(self.cs.sum())
+
+    @property
+    def total_spare(self) -> float:
+        """Total available capacity, ``Cd = Σ Cd_j``."""
+        return float(self.cd.sum())
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        topology: Topology,
+        snapshot: NetworkSnapshot,
+        max_hops: Optional[int] = None,
+    ) -> "PlacementProblem":
+        """Build the instance the manager would solve for a snapshot."""
+        busy = tuple(snapshot.busy)
+        candidates = tuple(snapshot.candidates)
+        return cls(
+            topology=topology,
+            busy=busy,
+            candidates=candidates,
+            cs=snapshot.excess_loads(),
+            cd=snapshot.spare_capacities(),
+            data_mb=snapshot.data_mb[list(busy)] if busy else np.zeros(0),
+            max_hops=max_hops,
+        )
+
+
+@dataclass(frozen=True)
+class PlacementAssignment:
+    """One flow: offload ``amount_pct`` from ``busy`` to ``candidate``."""
+
+    busy: int
+    candidate: int
+    amount_pct: float
+    response_time_s: float  # Trmin for this pair (full D_i transfer)
+    hops: int
+    route: Optional[Path] = None
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Outcome of one placement solve."""
+
+    status: SolveStatus
+    objective_beta: float
+    assignments: Tuple[PlacementAssignment, ...]
+    trmin_seconds: float
+    lp_seconds: float
+    total_seconds: float
+    lp_backend: str
+    path_engine: PathEngine
+    max_hops: Optional[int]
+    total_excess: float
+    total_spare: float
+    #: Shadow price of each candidate's spare capacity (candidate node
+    #: id -> dual of its 3a row), populated when the scipy backend
+    #: solved the LP: beta falls by |dual| per extra capacity point.
+    capacity_duals: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return self.status.is_optimal
+
+    @property
+    def total_offloaded(self) -> float:
+        return float(sum(a.amount_pct for a in self.assignments))
+
+    def flows_from(self, busy: int) -> List[PlacementAssignment]:
+        return [a for a in self.assignments if a.busy == busy]
+
+    def flows_to(self, candidate: int) -> List[PlacementAssignment]:
+        return [a for a in self.assignments if a.candidate == candidate]
+
+    def destinations(self) -> List[int]:
+        """Selected Offload-destination nodes."""
+        return sorted({a.candidate for a in self.assignments})
+
+
+class PlacementEngine:
+    """The DUST-Manager's Optimization Engine.
+
+    Parameters
+    ----------
+    response_model:
+        Trmin computation configuration; defaults to the faithful
+        exhaustive-enumeration engine with the problem's ``max_hops``.
+    lp_backend:
+        ``"transportation"`` (default, exact network simplex),
+        ``"scipy"`` (HiGHS) or ``"simplex"`` (from-scratch tableau).
+    with_routes:
+        Materialize the chosen :class:`~repro.routing.routes.Path` per
+        assignment (the controllable-route output). Slightly more work;
+        disable for pure timing studies.
+    """
+
+    def __init__(
+        self,
+        response_model: Optional[ResponseTimeModel] = None,
+        lp_backend: str = "transportation",
+        with_routes: bool = True,
+    ) -> None:
+        if lp_backend not in ("transportation", "scipy", "simplex"):
+            raise PlacementError(
+                f"unknown lp_backend {lp_backend!r}; expected "
+                "'transportation', 'scipy' or 'simplex'"
+            )
+        self.response_model = response_model
+        self.lp_backend = lp_backend
+        self.with_routes = with_routes
+
+    # -- internals -----------------------------------------------------------------
+    def _model_for(self, problem: PlacementProblem) -> ResponseTimeModel:
+        if self.response_model is not None:
+            model = self.response_model
+            if model.max_hops != problem.max_hops and problem.max_hops is not None:
+                model = ResponseTimeModel(
+                    convention=model.convention,
+                    engine=model.engine,
+                    max_hops=problem.max_hops,
+                )
+            return model
+        return ResponseTimeModel(
+            engine=PathEngine.ENUMERATION, max_hops=problem.max_hops
+        )
+
+    def _solve_lp(
+        self,
+        cost: np.ndarray,
+        cs: np.ndarray,
+        cd: np.ndarray,
+        coeff: Optional[np.ndarray] = None,
+        integral: bool = False,
+    ) -> Tuple[SolveStatus, np.ndarray, float, Dict[int, float]]:
+        """Dispatch the placement LP; returns (status, flow, beta, duals).
+
+        The specialized transportation backend handles the paper's
+        homogeneous continuous case; heterogeneous coefficients or
+        integral variables force the general LP/MILP path (with the
+        ``transportation`` backend transparently upgraded to scipy).
+        """
+        m, n = cost.shape
+        general_needed = coeff is not None or integral
+        if self.lp_backend == "transportation" and not general_needed:
+            result = solve_transportation(TransportationProblem(cs, cd, cost))
+            return result.status, result.flow, result.objective, {}
+        lp = LinearProgram("dust-placement")
+        variables: Dict[Tuple[int, int], object] = {}
+        for i in range(m):
+            for j in range(n):
+                if np.isfinite(cost[i, j]):
+                    variables[(i, j)] = lp.add_variable(
+                        f"x_{i}_{j}", is_integer=integral
+                    )
+        for i in range(m):
+            row = [variables[(i, j)] for j in range(n) if (i, j) in variables]
+            if not row:
+                if cs[i] > _FLOW_TOL:
+                    return SolveStatus.INFEASIBLE, np.zeros((m, n)), float("nan"), {}
+                continue
+            lp.add_constraint(lp_sum(row) == float(cs[i]), name=f"supply_{i}")
+        for j in range(n):
+            col = [
+                (1.0 if coeff is None else float(coeff[i, j])) * variables[(i, j)]
+                for i in range(m)
+                if (i, j) in variables
+            ]
+            if col:
+                lp.add_constraint(lp_sum(col) <= float(cd[j]), name=f"capacity_{j}")
+        lp.set_objective(
+            lp_sum(cost[i, j] * var for (i, j), var in variables.items())
+        )
+        if integral:
+            # scipy dispatches to HiGHS MILP; the from-scratch route is
+            # branch-and-bound over the simplex.
+            solver = (
+                solve_scipy
+                if self.lp_backend in ("scipy", "transportation")
+                else solve_branch_and_bound
+            )
+        else:
+            solver = (
+                solve_scipy
+                if self.lp_backend in ("scipy", "transportation")
+                else solve_simplex
+            )
+        solution = solver(lp)
+        flow = np.zeros((m, n))
+        if solution.status.is_optimal:
+            for (i, j), var in variables.items():
+                flow[i, j] = solution.value(f"x_{i}_{j}")
+        duals = {
+            int(name.split("_", 1)[1]): value
+            for name, value in solution.duals.items()
+            if name.startswith("capacity_")
+        }
+        return solution.status, flow, solution.objective, duals
+
+    # -- public API ---------------------------------------------------------------------
+    def solve(self, problem: PlacementProblem) -> PlacementReport:
+        """Solve one placement instance to optimality (or infeasibility)."""
+        start = time.perf_counter()
+        model = self._model_for(problem)
+        m, n = len(problem.busy), len(problem.candidates)
+
+        if m == 0:
+            # No busy node: trivially optimal, nothing to place.
+            return PlacementReport(
+                status=SolveStatus.OPTIMAL,
+                objective_beta=0.0,
+                assignments=(),
+                trmin_seconds=0.0,
+                lp_seconds=0.0,
+                total_seconds=time.perf_counter() - start,
+                lp_backend=self.lp_backend,
+                path_engine=model.engine,
+                max_hops=problem.max_hops,
+                total_excess=0.0,
+                total_spare=problem.total_spare,
+            )
+
+        t0 = time.perf_counter()
+        if n:
+            trmin, hops, paths = model.trmin_matrix(
+                problem.topology,
+                list(problem.busy),
+                list(problem.candidates),
+                problem.data_mb,
+                with_paths=self.with_routes,
+            )
+        else:
+            trmin = np.zeros((m, 0))
+            hops = np.zeros((m, 0), dtype=int)
+            paths = {}
+        trmin_seconds = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        duals_by_index: Dict[int, float] = {}
+        if n == 0:
+            status, flow, beta = SolveStatus.INFEASIBLE, np.zeros((m, 0)), float("nan")
+        else:
+            status, flow, beta, duals_by_index = self._solve_lp(
+                trmin,
+                problem.cs,
+                problem.cd,
+                coeff=problem.capacity_coefficients,
+                integral=problem.integral,
+            )
+        lp_seconds = time.perf_counter() - t1
+
+        assignments: List[PlacementAssignment] = []
+        if status.is_optimal:
+            for a in range(m):
+                for b in range(n):
+                    amount = float(flow[a, b])
+                    if amount <= _FLOW_TOL:
+                        continue
+                    src, dst = problem.busy[a], problem.candidates[b]
+                    assignments.append(
+                        PlacementAssignment(
+                            busy=src,
+                            candidate=dst,
+                            amount_pct=amount,
+                            response_time_s=float(trmin[a, b]),
+                            hops=int(hops[a, b]),
+                            route=paths.get((src, dst)),
+                        )
+                    )
+
+        return PlacementReport(
+            status=status,
+            objective_beta=float(beta) if status.is_optimal else float("nan"),
+            assignments=tuple(assignments),
+            trmin_seconds=trmin_seconds,
+            lp_seconds=lp_seconds,
+            total_seconds=time.perf_counter() - start,
+            lp_backend=self.lp_backend,
+            path_engine=model.engine,
+            max_hops=problem.max_hops,
+            total_excess=problem.total_excess,
+            total_spare=problem.total_spare,
+            capacity_duals={
+                int(problem.candidates[j]): float(v)
+                for j, v in duals_by_index.items()
+            },
+        )

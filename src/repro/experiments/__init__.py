@@ -1,0 +1,17 @@
+"""Experiment harness: one module per paper figure, plus registry/CLI."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    IterationSampler,
+    notation_table,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "IterationSampler",
+    "notation_table",
+    "render_table",
+]

@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate paper figures as text tables.
+
+Usage::
+
+    python -m repro.experiments fig7 --quick
+    python -m repro.experiments all
+    dust-experiments fig9 --iterations 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import notation_table
+from repro.experiments.registry import all_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dust-experiments",
+        description="Regenerate the DUST paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12), "
+        "'all', or 'table1' for the notation glossary",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use reduced iteration counts (CI-sized run)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="override the iteration count where the experiment takes one",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="also write the results as a markdown report to this path",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "table1":
+        print(notation_table())
+        return 0
+    overrides = {}
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    ids = (
+        [e.experiment_id for e in all_experiments()]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    results = []
+    for eid in ids:
+        # Iteration overrides only apply to experiments that accept them.
+        entry_overrides = dict(overrides)
+        if eid in ("fig10", "fig11", "fig12") and "iterations" in entry_overrides:
+            entry_overrides.pop("iterations")
+        result = run_experiment(eid, quick=args.quick, **entry_overrides)
+        results.append(result)
+        print(result.to_text())
+        print()
+    if args.output:
+        from repro.experiments.report import write_report
+
+        write_report(results, args.output)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Markdown report writer for experiment results.
+
+Turns a set of :class:`~repro.experiments.common.ExperimentResult` into
+a single EXPERIMENTS-style markdown document so a full regeneration run
+can be archived next to the paper-vs-measured record::
+
+    python -m repro.experiments all --output results.md
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.common import ExperimentResult
+
+
+def _markdown_table(columns: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != cell:
+                return "nan"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a markdown section."""
+    parts: List[str] = [f"## {result.experiment_id} — {result.title}", ""]
+    if result.params:
+        params = ", ".join(f"`{k}={v}`" for k, v in result.params)
+        parts.extend([f"Parameters: {params}", ""])
+    parts.append(_markdown_table(result.columns, result.rows))
+    parts.extend(["", f"**Paper:** {result.paper_claim}"])
+    if result.observations:
+        parts.append(f"**Measured:** {result.observations}")
+    parts.append(f"*(regenerated in {result.elapsed_s:.1f} s)*")
+    return "\n".join(parts)
+
+
+def write_report(
+    results: Sequence[ExperimentResult],
+    path: str,
+    title: str = "DUST reproduction — regenerated evaluation figures",
+) -> str:
+    """Write a full markdown report; returns the document text."""
+    sections = [f"# {title}", ""]
+    total = sum(r.elapsed_s for r in results)
+    sections.append(
+        f"{len(results)} experiment(s), total regeneration time {total:.1f} s."
+    )
+    sections.append("")
+    for result in results:
+        sections.append(result_to_markdown(result))
+        sections.append("")
+    document = "\n".join(sections)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return document

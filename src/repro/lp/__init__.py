@@ -1,0 +1,88 @@
+"""LP/ILP substrate: modeling layer plus interchangeable solver backends.
+
+This package replaces the Gurobi toolkit used by the paper's simulator:
+
+* :mod:`repro.lp.model` — algebraic model building (variables,
+  expressions, constraints).
+* :mod:`repro.lp.simplex` — from-scratch two-phase dense simplex.
+* :mod:`repro.lp.transportation` — exact transportation-problem solver
+  (the placement LP's native structure).
+* :mod:`repro.lp.scipy_backend` — HiGHS via scipy.
+* :mod:`repro.lp.branch_and_bound` — exact MILP on top of the simplex.
+
+Use :func:`solve` for backend dispatch by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import SolverError
+from repro.lp.branch_and_bound import solve_branch_and_bound
+from repro.lp.model import INF, Constraint, LinearProgram, LinExpr, Variable, lp_sum
+from repro.lp.result import Solution, SolveStatus
+from repro.lp.scipy_backend import solve_scipy
+from repro.lp.simplex import solve_simplex
+from repro.lp.verify import (
+    Verification,
+    check_feasibility,
+    duality_gap_bound,
+    verify_solution,
+)
+from repro.lp.transportation import (
+    TransportationProblem,
+    TransportationResult,
+    solve_transportation,
+)
+
+__all__ = [
+    "INF",
+    "Constraint",
+    "LinExpr",
+    "LinearProgram",
+    "Solution",
+    "SolveStatus",
+    "TransportationProblem",
+    "TransportationResult",
+    "Variable",
+    "Verification",
+    "check_feasibility",
+    "duality_gap_bound",
+    "verify_solution",
+    "available_backends",
+    "lp_sum",
+    "solve",
+    "solve_branch_and_bound",
+    "solve_scipy",
+    "solve_simplex",
+    "solve_transportation",
+]
+
+_BACKENDS: Dict[str, Callable[[LinearProgram], Solution]] = {
+    "simplex": solve_simplex,
+    "scipy": solve_scipy,
+    "branch-and-bound": solve_branch_and_bound,
+}
+
+
+def available_backends() -> tuple:
+    """Names accepted by :func:`solve`'s ``backend`` argument."""
+    return tuple(sorted(_BACKENDS)) + ("auto",)
+
+
+def solve(program: LinearProgram, backend: str = "auto") -> Solution:
+    """Solve ``program`` with the named backend.
+
+    ``backend="auto"`` picks ``branch-and-bound`` when integer variables
+    are present and ``scipy`` (HiGHS) otherwise — mirroring how the
+    paper's simulator always delegated to Gurobi.
+    """
+    if backend == "auto":
+        backend = "branch-and-bound" if program.has_integer_variables else "scipy"
+    try:
+        fn = _BACKENDS[backend]
+    except KeyError:
+        raise SolverError(
+            f"unknown LP backend {backend!r}; expected one of {available_backends()}"
+        ) from None
+    return fn(program)

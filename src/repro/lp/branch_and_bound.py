@@ -1,0 +1,166 @@
+"""Depth-first branch-and-bound MILP solver over the simplex backend.
+
+The paper calls its placement formulation an ILP even though the
+published decision variable ``x_ij`` is continuous. For completeness —
+and for the *integral-agent* variant where whole monitor agents (not
+fractional capacity) are relocated — this module provides exact
+integrality on top of :func:`repro.lp.simplex.solve_simplex` via
+classic LP-relaxation branch and bound:
+
+* solve the relaxation;
+* if some integer variable is fractional, branch on the most
+  fractional one with ``floor``/``ceil`` bound splits;
+* prune nodes whose relaxation bound cannot beat the incumbent.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lp.model import INF, LinearProgram
+from repro.lp.result import Solution, SolveStatus
+from repro.lp.simplex import solve_simplex
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class _Node:
+    """A subproblem: extra bounds layered onto the root program."""
+
+    bounds: Dict[str, Tuple[float, float]]
+    depth: int
+
+
+def _clone_with_bounds(
+    program: LinearProgram, bounds: Dict[str, Tuple[float, float]]
+) -> LinearProgram:
+    """Rebuild ``program`` with tightened variable bounds (relaxed ints)."""
+    clone = LinearProgram(program.name + "-node")
+    mapping = {}
+    for var in program.variables:
+        lo, hi = bounds.get(var.name, (var.lower, var.upper))
+        mapping[var] = clone.add_variable(var.name, lower=lo, upper=hi, is_integer=False)
+    for con in program.constraints:
+        expr = None
+        for var, coef in con.expr.terms.items():
+            term = coef * mapping[var]
+            expr = term if expr is None else expr + term
+        if expr is None:  # constant constraint; preserve as trivial row
+            continue
+        if con.sense == "<=":
+            clone.add_constraint(expr <= con.rhs, name=con.name)
+        elif con.sense == ">=":
+            clone.add_constraint(expr >= con.rhs, name=con.name)
+        else:
+            clone.add_constraint(expr == con.rhs, name=con.name)
+    obj = None
+    for var, coef in program.objective.terms.items():
+        term = coef * mapping[var]
+        obj = term if obj is None else obj + term
+    if obj is not None:
+        clone.set_objective(obj + program.objective.constant)
+    else:
+        clone.set_objective(program.objective.constant)
+    return clone
+
+
+def _most_fractional(
+    program: LinearProgram, values: Dict[str, float]
+) -> Optional[Tuple[str, float]]:
+    """Integer variable whose value is farthest from integrality."""
+    best_name: Optional[str] = None
+    best_frac = _INT_TOL
+    for var in program.variables:
+        if not var.is_integer:
+            continue
+        val = values.get(var.name, 0.0)
+        frac = abs(val - round(val))
+        if frac > best_frac:
+            best_frac = frac
+            best_name = var.name
+    if best_name is None:
+        return None
+    return best_name, values[best_name]
+
+
+def solve_branch_and_bound(
+    program: LinearProgram,
+    max_nodes: int = 10_000,
+    gap_tol: float = 1e-9,
+) -> Solution:
+    """Exact MILP solve; falls back to a single LP when no var is integer."""
+    start = time.perf_counter()
+    if not program.has_integer_variables:
+        sol = solve_simplex(program)
+        return Solution(
+            status=sol.status,
+            objective=sol.objective,
+            values=sol.values,
+            backend="branch-and-bound",
+            iterations=sol.iterations,
+            solve_time=time.perf_counter() - start,
+        )
+
+    incumbent: Optional[Solution] = None
+    incumbent_obj = math.inf
+    stack: List[_Node] = [_Node(bounds={}, depth=0)]
+    explored = 0
+
+    while stack and explored < max_nodes:
+        node = stack.pop()
+        explored += 1
+        relaxed = _clone_with_bounds(program, node.bounds)
+        sol = solve_simplex(relaxed)
+        if sol.status is SolveStatus.UNBOUNDED and not node.bounds:
+            return Solution(
+                status=SolveStatus.UNBOUNDED,
+                backend="branch-and-bound",
+                iterations=explored,
+                solve_time=time.perf_counter() - start,
+            )
+        if not sol.status.is_optimal:
+            continue  # infeasible subtree (or pathological) — prune
+        if sol.objective >= incumbent_obj - gap_tol:
+            continue  # bound prune
+        branch = _most_fractional(program, dict(sol.values))
+        if branch is None:
+            incumbent = sol
+            incumbent_obj = sol.objective
+            continue
+        name, value = branch
+        var = program.variable(name)
+        lo, hi = node.bounds.get(name, (var.lower, var.upper))
+        floor_v, ceil_v = math.floor(value), math.ceil(value)
+        down = dict(node.bounds)
+        down[name] = (lo, min(hi, float(floor_v)))
+        up = dict(node.bounds)
+        up[name] = (max(lo, float(ceil_v)), hi)
+        # DFS: push the "down" branch last so it is explored first —
+        # rounding down tends to stay feasible for packing problems.
+        if up[name][0] <= up[name][1] + 1e-12:
+            stack.append(_Node(bounds=up, depth=node.depth + 1))
+        if down[name][0] <= down[name][1] + 1e-12:
+            stack.append(_Node(bounds=down, depth=node.depth + 1))
+
+    elapsed = time.perf_counter() - start
+    if incumbent is None:
+        status = SolveStatus.ITERATION_LIMIT if stack else SolveStatus.INFEASIBLE
+        return Solution(
+            status=status,
+            backend="branch-and-bound",
+            iterations=explored,
+            solve_time=elapsed,
+        )
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=incumbent.objective,
+        values={k: float(round(v)) if program.variable(k).is_integer else v
+                for k, v in incumbent.values.items()},
+        backend="branch-and-bound",
+        iterations=explored,
+        solve_time=elapsed,
+    )

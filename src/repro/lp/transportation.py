@@ -1,0 +1,374 @@
+"""Exact transportation-problem solver (north-west corner + MODI).
+
+The DUST placement program (paper Eq. 3) is a *transportation problem*:
+
+    minimize   sum_ij  c_ij x_ij          (c_ij = Trmin_ij)
+    subject to sum_j   x_ij  = s_i        (ship all of Busy node i's Cs_i)
+               sum_i   x_ij <= d_j        (candidate j's spare capacity Cd_j)
+               x_ij >= 0
+
+This module solves it directly: the demand inequality is balanced with a
+dummy supply row that absorbs leftover destination capacity at zero
+cost, the initial basic feasible solution comes from the north-west
+corner rule, and optimality is reached with MODI (u/v multiplier)
+iterations, i.e. the network-simplex specialization for bipartite
+transportation graphs. Pairs with no admissible route (hop-bounded path
+absent) are modeled with a Big-M cost and rejected post-hoc if they
+carry flow.
+
+Complexity per MODI iteration is Θ(m·n) for pricing plus O(m+n) for the
+cycle pivot, far below the general dense simplex — this is one of the
+repo's ablation axes (``benchmarks/bench_ablation_lp.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.lp.result import Solution, SolveStatus
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TransportationProblem:
+    """A (possibly unbalanced) transportation instance.
+
+    Attributes
+    ----------
+    supply:
+        ``s_i >= 0`` — amount each source must ship (equality).
+    demand:
+        ``d_j >= 0`` — capacity of each destination (inequality).
+    cost:
+        ``(m, n)`` unit shipping costs; ``np.inf`` marks forbidden lanes.
+    """
+
+    supply: np.ndarray
+    demand: np.ndarray
+    cost: np.ndarray
+
+    def __post_init__(self) -> None:
+        supply = np.asarray(self.supply, dtype=float)
+        demand = np.asarray(self.demand, dtype=float)
+        cost = np.asarray(self.cost, dtype=float)
+        object.__setattr__(self, "supply", supply)
+        object.__setattr__(self, "demand", demand)
+        object.__setattr__(self, "cost", cost)
+        if cost.shape != (supply.size, demand.size):
+            raise SolverError(
+                f"cost shape {cost.shape} does not match "
+                f"{supply.size} supplies x {demand.size} demands"
+            )
+        if (supply < -_EPS).any() or (demand < -_EPS).any():
+            raise SolverError("supplies and demands must be non-negative")
+
+    @property
+    def num_sources(self) -> int:
+        return self.supply.size
+
+    @property
+    def num_destinations(self) -> int:
+        return self.demand.size
+
+
+@dataclass(frozen=True)
+class TransportationResult:
+    """Optimal flow for a :class:`TransportationProblem`."""
+
+    status: SolveStatus
+    flow: np.ndarray  # (m, n); zeros when not optimal
+    objective: float
+    iterations: int
+    solve_time: float
+
+    def to_solution(self, name_of: Optional[Sequence[Sequence[str]]] = None) -> Solution:
+        """Convert to the generic :class:`~repro.lp.result.Solution`.
+
+        ``name_of[i][j]`` supplies the variable name for lane (i, j);
+        defaults to ``x_{i}_{j}``.
+        """
+        values: Dict[str, float] = {}
+        if self.status.is_optimal:
+            m, n = self.flow.shape
+            for i in range(m):
+                for j in range(n):
+                    name = name_of[i][j] if name_of is not None else f"x_{i}_{j}"
+                    values[name] = float(self.flow[i, j])
+        return Solution(
+            status=self.status,
+            objective=self.objective if self.status.is_optimal else float("nan"),
+            values=values,
+            backend="transportation",
+            iterations=self.iterations,
+            solve_time=self.solve_time,
+        )
+
+
+def _northwest_corner(
+    supply: np.ndarray, demand: np.ndarray
+) -> Tuple[Dict[Tuple[int, int], float], List[Tuple[int, int]]]:
+    """North-west corner initial BFS on a *balanced* instance.
+
+    Returns the flow on basic cells and the ordered basis list, padded
+    with degenerate (zero-flow) cells so the basis always spans
+    ``m + n - 1`` cells (a spanning tree of the bipartite graph).
+    """
+    m, n = supply.size, demand.size
+    s = supply.copy()
+    d = demand.copy()
+    flow: Dict[Tuple[int, int], float] = {}
+    basis: List[Tuple[int, int]] = []
+    i = j = 0
+    while i < m and j < n:
+        moved = min(s[i], d[j])
+        flow[(i, j)] = moved
+        basis.append((i, j))
+        s[i] -= moved
+        d[j] -= moved
+        if i == m - 1 and j == n - 1:
+            break
+        if s[i] <= _EPS and i < m - 1:
+            i += 1
+        else:
+            j += 1
+    # Degenerate padding: NW corner can terminate early when a supply and
+    # demand exhaust simultaneously; walk the last row to keep a tree.
+    need = m + n - 1 - len(basis)
+    if need > 0:
+        present = set(basis)
+        for jj in range(n):
+            if need == 0:
+                break
+            cell = (m - 1, jj)
+            if cell not in present:
+                flow[cell] = 0.0
+                basis.append(cell)
+                present.add(cell)
+                need -= 1
+        for ii in range(m):
+            if need == 0:
+                break
+            cell = (ii, n - 1)
+            if cell not in present:
+                flow[cell] = 0.0
+                basis.append(cell)
+                present.add(cell)
+                need -= 1
+    return flow, basis
+
+
+def _compute_potentials(
+    basis: Sequence[Tuple[int, int]], cost: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve ``u_i + v_j = c_ij`` over the basis tree (BFS from u_0 = 0)."""
+    m, n = cost.shape
+    u = np.full(m, np.nan)
+    v = np.full(n, np.nan)
+    rows_adj: Dict[int, List[int]] = defaultdict(list)
+    cols_adj: Dict[int, List[int]] = defaultdict(list)
+    for (i, j) in basis:
+        rows_adj[i].append(j)
+        cols_adj[j].append(i)
+    u[0] = 0.0
+    queue: deque = deque([("r", 0)])
+    while queue:
+        kind, idx = queue.popleft()
+        if kind == "r":
+            for j in rows_adj[idx]:
+                if np.isnan(v[j]):
+                    v[j] = cost[idx, j] - u[idx]
+                    queue.append(("c", j))
+        else:
+            for i in cols_adj[idx]:
+                if np.isnan(u[i]):
+                    u[i] = cost[i, idx] - v[idx]
+                    queue.append(("r", i))
+    # A disconnected basis would leave NaNs; that indicates a broken tree.
+    if np.isnan(u).any() or np.isnan(v).any():
+        raise SolverError("transportation basis is not a spanning tree")
+    return u, v
+
+
+def _find_cycle(
+    basis: Sequence[Tuple[int, int]], entering: Tuple[int, int]
+) -> List[Tuple[int, int]]:
+    """Unique alternating cycle created by adding ``entering`` to the tree.
+
+    Returns cells in cycle order starting with ``entering``; flow is
+    increased on even positions and decreased on odd positions.
+    """
+    start_row, target_col = entering
+    rows_adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+    cols_adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+    for (i, j) in basis:
+        rows_adj[i].append((i, j))
+        cols_adj[j].append((i, j))
+
+    # BFS over the bipartite tree from row node `start_row` to column node
+    # `target_col`; edges are basic cells.
+    parent: Dict[Tuple[str, int], Tuple[Tuple[str, int], Tuple[int, int]]] = {}
+    queue: deque = deque([("r", start_row)])
+    seen = {("r", start_row)}
+    found = False
+    while queue and not found:
+        kind, idx = queue.popleft()
+        edges = rows_adj[idx] if kind == "r" else cols_adj[idx]
+        for cell in edges:
+            nxt = ("c", cell[1]) if kind == "r" else ("r", cell[0])
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            parent[nxt] = ((kind, idx), cell)
+            if nxt == ("c", target_col):
+                found = True
+                break
+            queue.append(nxt)
+    if not found:
+        raise SolverError("entering cell does not close a cycle (broken basis tree)")
+
+    # Reconstruct path of basic cells from target column back to start row.
+    path_cells: List[Tuple[int, int]] = []
+    node = ("c", target_col)
+    while node != ("r", start_row):
+        prev, cell = parent[node]
+        path_cells.append(cell)
+        node = prev
+    path_cells.reverse()
+    return [entering] + path_cells
+
+
+def solve_transportation(
+    problem: TransportationProblem,
+    max_iter: int = 100_000,
+    big_m: Optional[float] = None,
+) -> TransportationResult:
+    """Solve to optimality with north-west corner + MODI pivots.
+
+    Parameters
+    ----------
+    problem:
+        Instance with equality supplies and ``<=`` demand capacities.
+    max_iter:
+        Safety bound on MODI pivots.
+    big_m:
+        Cost used for forbidden (infinite-cost) lanes; auto-scaled from
+        the finite costs when omitted.
+    """
+    start = time.perf_counter()
+    supply = problem.supply
+    demand = problem.demand
+    m, n = problem.num_sources, problem.num_destinations
+
+    total_supply = float(supply.sum())
+    total_demand = float(demand.sum())
+    if m == 0 or total_supply <= _EPS:
+        # Nothing to ship: trivially optimal zero flow.
+        return TransportationResult(
+            status=SolveStatus.OPTIMAL,
+            flow=np.zeros((m, n)),
+            objective=0.0,
+            iterations=0,
+            solve_time=time.perf_counter() - start,
+        )
+    if n == 0 or total_supply > total_demand + _EPS:
+        return TransportationResult(
+            status=SolveStatus.INFEASIBLE,
+            flow=np.zeros((m, n)),
+            objective=float("nan"),
+            iterations=0,
+            solve_time=time.perf_counter() - start,
+        )
+
+    cost = problem.cost.copy()
+    forbidden = ~np.isfinite(cost)
+    if big_m is None:
+        finite = cost[~forbidden]
+        base = float(finite.max()) if finite.size else 1.0
+        big_m = (abs(base) + 1.0) * max(m, n) * 1e6
+    cost[forbidden] = big_m
+
+    # Balance with a dummy supply row absorbing spare destination capacity.
+    slack = total_demand - total_supply
+    if slack > _EPS:
+        supply_b = np.concatenate([supply, [slack]])
+        cost_b = np.vstack([cost, np.zeros((1, n))])
+        forbidden_b = np.vstack([forbidden, np.zeros((1, n), dtype=bool)])
+    else:
+        supply_b = supply
+        cost_b = cost
+        forbidden_b = forbidden
+    mb = supply_b.size
+
+    flow, basis = _northwest_corner(supply_b, demand)
+    basis_set = set(basis)
+
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        u, v = _compute_potentials(basis, cost_b)
+        reduced = cost_b - u[:, None] - v[None, :]
+        # Mask basic cells: their reduced cost is 0 by construction but
+        # numerical noise could otherwise re-select them.
+        for (i, j) in basis:
+            reduced[i, j] = 0.0
+        entering_flat = int(np.argmin(reduced))
+        ei, ej = divmod(entering_flat, n)
+        if reduced[ei, ej] >= -1e-7 * (1.0 + abs(cost_b[ei, ej])):
+            break  # optimal
+
+        cycle = _find_cycle(basis, (ei, ej))
+        minus_cells = cycle[1::2]
+        theta = min(flow[c] for c in minus_cells)
+        leaving = min(
+            (c for c in minus_cells if abs(flow[c] - theta) <= _EPS),
+            key=lambda c: (c[0], c[1]),
+        )
+        for pos, cell in enumerate(cycle):
+            if pos % 2 == 0:
+                flow[cell] = flow.get(cell, 0.0) + theta
+            else:
+                flow[cell] -= theta
+        del flow[leaving]
+        basis_set.discard(leaving)
+        basis_set.add((ei, ej))
+        basis = list(basis_set)
+        if (ei, ej) != leaving:
+            flow.setdefault((ei, ej), 0.0)
+    else:
+        return TransportationResult(
+            status=SolveStatus.ITERATION_LIMIT,
+            flow=np.zeros((m, n)),
+            objective=float("nan"),
+            iterations=iterations,
+            solve_time=time.perf_counter() - start,
+        )
+
+    flow_matrix = np.zeros((mb, n))
+    for (i, j), amount in flow.items():
+        flow_matrix[i, j] = max(0.0, amount)
+
+    # Any flow on a forbidden lane means the real problem is infeasible.
+    if (flow_matrix[forbidden_b] > 1e-6).any():
+        return TransportationResult(
+            status=SolveStatus.INFEASIBLE,
+            flow=np.zeros((m, n)),
+            objective=float("nan"),
+            iterations=iterations,
+            solve_time=time.perf_counter() - start,
+        )
+
+    real_flow = flow_matrix[:m]
+    objective = float((problem.cost[~forbidden] * real_flow[~forbidden]).sum())
+    return TransportationResult(
+        status=SolveStatus.OPTIMAL,
+        flow=real_flow,
+        objective=objective,
+        iterations=iterations,
+        solve_time=time.perf_counter() - start,
+    )

@@ -1,0 +1,35 @@
+"""Routing substrate: hop-bounded paths, shortest paths, response times."""
+
+from __future__ import annotations
+
+from repro.routing.kshortest import k_shortest_paths, path_cost
+from repro.routing.paths import count_paths, enumerate_paths, iter_simple_paths
+from repro.routing.reroute import MaintainedRoute, RerouteDecision, RouteMaintainer
+from repro.routing.response_time import PathEngine, ResponseTimeModel, TrminEntry
+from repro.routing.routes import Path, RouteChoice
+from repro.routing.shortest import (
+    HopConstrainedResult,
+    all_sources_hop_constrained,
+    hop_constrained_shortest,
+    shortest_path,
+)
+
+__all__ = [
+    "HopConstrainedResult",
+    "k_shortest_paths",
+    "MaintainedRoute",
+    "RerouteDecision",
+    "RouteMaintainer",
+    "path_cost",
+    "Path",
+    "PathEngine",
+    "ResponseTimeModel",
+    "RouteChoice",
+    "TrminEntry",
+    "all_sources_hop_constrained",
+    "count_paths",
+    "enumerate_paths",
+    "hop_constrained_shortest",
+    "iter_simple_paths",
+    "shortest_path",
+]

@@ -1,0 +1,143 @@
+"""K-shortest hop-bounded simple paths (Yen's algorithm).
+
+DUST's "controllable routes" need more than one candidate route per
+(busy, destination) pair: when the primary route's links congest, the
+manager reroutes the monitoring flow without re-solving placement.
+:func:`k_shortest_paths` returns the ``k`` cheapest simple paths under
+the same resistance weights and hop budget the placement used, in
+non-decreasing cost order.
+
+Yen's algorithm over the hop-constrained Bellman–Ford base solver: the
+spur computation masks root-path nodes and previously used spur edges
+by weight inflation (edges cannot be removed from :class:`Topology`
+in-place, and copying the graph per spur would dominate runtime).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.routes import Path
+from repro.routing.shortest import hop_constrained_shortest
+from repro.topology.graph import Topology
+
+_BLOCK = 1e18  # weight used to soft-delete an edge
+
+
+def _masked_shortest(
+    topology: Topology,
+    source: int,
+    destination: int,
+    weights: np.ndarray,
+    max_hops: Optional[int],
+    blocked_edges: Sequence[int],
+    blocked_nodes: Sequence[int],
+) -> Optional[Path]:
+    """Shortest path avoiding blocked edges/nodes (by weight inflation
+    and post-check)."""
+    w = weights.copy()
+    if blocked_edges:
+        w[list(blocked_edges)] = _BLOCK
+    if blocked_nodes:
+        blocked = set(blocked_nodes)
+        for edge_id, (u, v) in enumerate(topology.edges):
+            if u in blocked or v in blocked:
+                w[edge_id] = _BLOCK
+    result = hop_constrained_shortest(topology, source, max_hops, w)
+    path = result.path_to(destination)
+    if path is None:
+        return None
+    cost = float(sum(w[e] for e in path.edges))
+    if cost >= _BLOCK:  # the "shortest" path had to use a blocked edge
+        return None
+    return path
+
+
+def path_cost(path: Path, weights: np.ndarray) -> float:
+    """Total weight of a path."""
+    if not path.edges:
+        return 0.0
+    return float(weights[list(path.edges)].sum())
+
+
+def k_shortest_paths(
+    topology: Topology,
+    source: int,
+    destination: int,
+    weights: np.ndarray,
+    k: int,
+    max_hops: Optional[int] = None,
+) -> List[Path]:
+    """Up to ``k`` cheapest simple hop-bounded paths (Yen).
+
+    Returns fewer than ``k`` when the graph has fewer distinct simple
+    paths within the hop budget.
+    """
+    if k < 1:
+        raise RoutingError(f"k must be >= 1, got {k}")
+    topology.node(source)
+    topology.node(destination)
+    if source == destination:
+        return [Path(nodes=(source,), edges=())]
+
+    weights = np.asarray(weights, dtype=float)
+    first = _masked_shortest(topology, source, destination, weights, max_hops, (), ())
+    if first is None:
+        return []
+    accepted: List[Path] = [first]
+    # Candidate heap entries: (cost, hops, tie, path).
+    candidates: List[Tuple[float, int, int, Path]] = []
+    seen = {first.nodes}
+    tie = 0
+
+    while len(accepted) < k:
+        prev = accepted[-1]
+        for spur_idx in range(len(prev.nodes) - 1):
+            spur_node = prev.nodes[spur_idx]
+            root_nodes = prev.nodes[: spur_idx + 1]
+            root_edges = prev.edges[:spur_idx]
+            # Edges leaving the spur node along any accepted path that
+            # shares this root must be excluded.
+            blocked_edges = [
+                p.edges[spur_idx]
+                for p in accepted
+                if len(p.edges) > spur_idx and p.nodes[: spur_idx + 1] == root_nodes
+            ]
+            blocked_nodes = root_nodes[:-1]  # root minus the spur node
+            remaining_hops = (
+                None if max_hops is None else max_hops - len(root_edges)
+            )
+            if remaining_hops is not None and remaining_hops < 1:
+                continue
+            spur = _masked_shortest(
+                topology,
+                spur_node,
+                destination,
+                weights,
+                remaining_hops,
+                blocked_edges,
+                blocked_nodes,
+            )
+            if spur is None:
+                continue
+            total_nodes = root_nodes + spur.nodes[1:]
+            if len(set(total_nodes)) != len(total_nodes):
+                continue  # root + spur re-visits a node
+            total = Path(nodes=total_nodes, edges=root_edges + spur.edges)
+            if total.nodes in seen:
+                continue
+            seen.add(total.nodes)
+            tie += 1
+            heapq.heappush(
+                candidates,
+                (path_cost(total, weights), total.num_hops, tie, total),
+            )
+        if not candidates:
+            break
+        _, _, _, best = heapq.heappop(candidates)
+        accepted.append(best)
+    return accepted

@@ -1,0 +1,183 @@
+"""Runtime route maintenance for established offloads.
+
+Placement picks one controllable route per offload; network state then
+drifts. :class:`RouteMaintainer` watches the utilization of each active
+route's links and, when any link crosses ``congestion_threshold``,
+switches the flow to the best alternative among the k cheapest
+hop-bounded paths computed at installation time (Yen's algorithm,
+:mod:`repro.routing.kshortest`) — re-pricing the alternatives against
+*current* link state. This implements the "controllable routes" upkeep
+DUST needs between optimization rounds without re-solving placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.kshortest import k_shortest_paths, path_cost
+from repro.routing.response_time import ResponseTimeModel
+from repro.routing.routes import Path
+from repro.topology.graph import Topology
+
+
+@dataclass
+class MaintainedRoute:
+    """One flow under maintenance."""
+
+    flow_id: str
+    source: int
+    destination: int
+    active: Path
+    alternatives: Tuple[Path, ...]
+    switches: int = 0
+
+
+@dataclass(frozen=True)
+class RerouteDecision:
+    """Outcome of one maintenance check for one flow."""
+
+    flow_id: str
+    rerouted: bool
+    reason: str
+    old_path: Path
+    new_path: Path
+
+
+class RouteMaintainer:
+    """Tracks flows and swaps congested routes for alternatives."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        response_model: Optional[ResponseTimeModel] = None,
+        k_alternatives: int = 4,
+        congestion_threshold: float = 0.9,
+        improvement_factor: float = 1.05,
+    ) -> None:
+        """``improvement_factor``: only switch when the best healthy
+        alternative is at least this much cheaper than staying (avoids
+        flapping between near-equal routes)."""
+        if k_alternatives < 1:
+            raise RoutingError("k_alternatives must be >= 1")
+        if not 0.0 < congestion_threshold <= 1.0:
+            raise RoutingError("congestion_threshold must be in (0, 1]")
+        if improvement_factor < 1.0:
+            raise RoutingError("improvement_factor must be >= 1")
+        self.topology = topology
+        self.response_model = response_model or ResponseTimeModel()
+        self.k_alternatives = k_alternatives
+        self.congestion_threshold = congestion_threshold
+        self.improvement_factor = improvement_factor
+        self._flows: Dict[str, MaintainedRoute] = {}
+
+    # -- registration -------------------------------------------------------------
+    def register_flow(
+        self,
+        flow_id: str,
+        source: int,
+        destination: int,
+        max_hops: Optional[int] = None,
+    ) -> MaintainedRoute:
+        """Install a flow: compute its k cheapest routes now and
+        activate the best."""
+        if flow_id in self._flows:
+            raise RoutingError(f"flow {flow_id!r} already registered")
+        weights = self.response_model.edge_weights(self.topology)
+        paths = k_shortest_paths(
+            self.topology, source, destination, weights,
+            k=self.k_alternatives, max_hops=max_hops,
+        )
+        if not paths:
+            raise RoutingError(
+                f"no route between {source} and {destination} within budget"
+            )
+        route = MaintainedRoute(
+            flow_id=flow_id,
+            source=source,
+            destination=destination,
+            active=paths[0],
+            alternatives=tuple(paths),
+        )
+        self._flows[flow_id] = route
+        return route
+
+    def withdraw_flow(self, flow_id: str) -> None:
+        if flow_id not in self._flows:
+            raise RoutingError(f"unknown flow {flow_id!r}")
+        del self._flows[flow_id]
+
+    def flow(self, flow_id: str) -> MaintainedRoute:
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise RoutingError(f"unknown flow {flow_id!r}") from None
+
+    @property
+    def flows(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._flows))
+
+    # -- maintenance ----------------------------------------------------------------
+    def _is_congested(self, path: Path) -> bool:
+        return any(
+            self.topology.link(e).utilization >= self.congestion_threshold
+            for e in path.edges
+        )
+
+    def check(self) -> List[RerouteDecision]:
+        """Evaluate every flow against current link state; reroute the
+        congested ones. Returns decisions for flows that were checked
+        because of congestion (healthy flows are skipped silently)."""
+        decisions: List[RerouteDecision] = []
+        weights = self.response_model.edge_weights(self.topology)
+        for route in self._flows.values():
+            if not self._is_congested(route.active):
+                continue
+            healthy = [
+                p for p in route.alternatives
+                if p.nodes != route.active.nodes and not self._is_congested(p)
+            ]
+            if not healthy:
+                decisions.append(
+                    RerouteDecision(
+                        flow_id=route.flow_id,
+                        rerouted=False,
+                        reason="no healthy alternative",
+                        old_path=route.active,
+                        new_path=route.active,
+                    )
+                )
+                continue
+            current_cost = path_cost(route.active, weights)
+            best = min(healthy, key=lambda p: path_cost(p, weights))
+            best_cost = path_cost(best, weights)
+            if best_cost * self.improvement_factor >= current_cost and not np.isinf(
+                current_cost
+            ):
+                # Alternatives are no better; congestion is global.
+                decisions.append(
+                    RerouteDecision(
+                        flow_id=route.flow_id,
+                        rerouted=False,
+                        reason="alternatives no cheaper",
+                        old_path=route.active,
+                        new_path=route.active,
+                    )
+                )
+                continue
+            old = route.active
+            route.active = best
+            route.switches += 1
+            decisions.append(
+                RerouteDecision(
+                    flow_id=route.flow_id,
+                    rerouted=True,
+                    reason="congestion",
+                    old_path=old,
+                    new_path=best,
+                )
+            )
+        return decisions

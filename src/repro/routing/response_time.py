@@ -1,0 +1,216 @@
+"""Response-time computation (Eqs. 1 and 2) and pairwise Trmin matrices.
+
+``Tr_{i,j}(r) = sum_{e in r} D_i / Lu_e`` and
+``Trmin_{i,j} = min_{r in p} Tr_{i,j}(r)`` over all hop-bounded paths.
+Because ``D_i`` is a common factor, the minimization runs on the path
+"resistance" ``sum_e 1/Lu_e``; the matrix builders return both the
+scaled times and the hop counts of the chosen routes (the paper
+tie-breaks equal response times by fewer hops).
+
+Two engines are provided, selected by :class:`PathEngine`:
+
+* ``ENUMERATION`` — faithful exhaustive hop-bounded enumeration
+  (:mod:`repro.routing.paths`), the source of the paper's measured
+  ILP-time blowup with max-hop (Figs. 8/10);
+* ``DP`` — layered Bellman–Ford (:mod:`repro.routing.shortest`),
+  polynomial and exactly equivalent in optimum value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.paths import iter_simple_paths
+from repro.routing.routes import Path, RouteChoice
+from repro.routing.shortest import hop_constrained_shortest
+from repro.topology.graph import Topology
+from repro.topology.links import BandwidthConvention
+
+_TIE_TOL = 1e-12
+
+
+def _path_resistance(path: "Path", edge_weights: np.ndarray) -> float:
+    """Sum of per-edge weights (``1/Lu_e``) along ``path``."""
+    if not path.edges:
+        return 0.0
+    return float(edge_weights[list(path.edges)].sum())
+
+
+class PathEngine(enum.Enum):
+    """Route-search strategy for Trmin."""
+
+    ENUMERATION = "enumeration"
+    DP = "dp"
+
+
+@dataclass(frozen=True)
+class TrminEntry:
+    """Best route between one (source, destination) pair."""
+
+    resistance: float  # sum of 1/Lu_e along the chosen path (s/Mb)
+    hops: int
+    path: Optional[Path]  # None when paths were not materialized
+
+    @property
+    def reachable(self) -> bool:
+        return np.isfinite(self.resistance)
+
+
+@dataclass
+class ResponseTimeModel:
+    """Configuration bundle for Trmin computation.
+
+    Attributes
+    ----------
+    convention:
+        How ``Lu_e`` derives from link state (see
+        :class:`~repro.topology.links.BandwidthConvention`).
+    engine:
+        :class:`PathEngine` used for the minimization.
+    max_hops:
+        Hop budget (``None`` = unbounded), the paper's ``max-hop``.
+    """
+
+    convention: BandwidthConvention = BandwidthConvention.AVAILABLE
+    engine: PathEngine = PathEngine.ENUMERATION
+    max_hops: Optional[int] = None
+
+    def edge_weights(self, topology: Topology) -> np.ndarray:
+        """Per-edge resistance ``1 / Lu_e``."""
+        return 1.0 / topology.effective_bandwidths(self.convention)
+
+    # -- single pair ------------------------------------------------------------
+    def best_route(
+        self, topology: Topology, source: int, destination: int
+    ) -> Optional[RouteChoice]:
+        """Optimal route for a unit data volume; ``None`` if unreachable.
+
+        ``response_time_s`` in the returned choice is the *resistance*
+        (i.e. response time of 1 Mb); scale by ``D_i`` for real volumes.
+        """
+        weights = self.edge_weights(topology)
+        if self.engine is PathEngine.DP:
+            result = hop_constrained_shortest(topology, source, self.max_hops, weights)
+            path = result.path_to(destination)
+            if path is None:
+                return None
+            return RouteChoice(
+                path=path, response_time_s=_path_resistance(path, weights)
+            )
+        best_path: Optional[Path] = None
+        best_res = np.inf
+        best_hops = np.inf
+        for path in iter_simple_paths(topology, source, destination, self.max_hops):
+            res = _path_resistance(path, weights)
+            if res < best_res - _TIE_TOL or (
+                abs(res - best_res) <= _TIE_TOL and path.num_hops < best_hops
+            ):
+                best_path, best_res, best_hops = path, res, path.num_hops
+        if best_path is None:
+            return None
+        return RouteChoice(path=best_path, response_time_s=best_res)
+
+    # -- pairwise matrices --------------------------------------------------------
+    def resistance_matrix(
+        self,
+        topology: Topology,
+        sources: Sequence[int],
+        destinations: Sequence[int],
+        with_paths: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Tuple[int, int], Path]]:
+        """Pairwise minimum resistances.
+
+        Returns ``(R, hops, paths)`` where ``R[a, b]`` is the minimum
+        ``sum 1/Lu_e`` from ``sources[a]`` to ``destinations[b]``
+        (``inf`` when unreachable within ``max_hops``), ``hops[a, b]``
+        the chosen route's hop count (``-1`` unreachable), and
+        ``paths`` maps (source, destination) node-id pairs to a
+        materialized optimal :class:`Path` when ``with_paths``.
+        """
+        weights = self.edge_weights(topology)
+        ns, nd = len(sources), len(destinations)
+        R = np.full((ns, nd), np.inf)
+        hops = np.full((ns, nd), -1, dtype=np.int64)
+        paths: Dict[Tuple[int, int], Path] = {}
+
+        if self.engine is PathEngine.DP:
+            dest_arr = np.asarray(destinations, dtype=int)
+            if not with_paths:
+                # Fast path: all sources relaxed in one vectorized sweep.
+                from repro.routing.shortest import all_sources_hop_constrained
+
+                best_all, hops_all = all_sources_hop_constrained(
+                    topology, [int(s) for s in sources], self.max_hops, weights
+                )
+                R[:, :] = best_all[:, dest_arr]
+                hops[:, :] = np.where(
+                    np.isfinite(R), hops_all[:, dest_arr], -1
+                )
+                return R, hops, paths
+            for a, src in enumerate(sources):
+                result = hop_constrained_shortest(topology, src, self.max_hops, weights)
+                best = result.best
+                R[a, :] = best[dest_arr]
+                bh = result.best_hops()
+                hops[a, :] = np.where(np.isfinite(best[dest_arr]), bh[dest_arr], -1)
+                for b, dst in enumerate(destinations):
+                    if np.isfinite(R[a, b]):
+                        path = result.path_to(int(dst))
+                        if path is not None:
+                            paths[(int(src), int(dst))] = path
+            # Same-node pairs have zero resistance and hop count 0 already
+            # handled by the DP (dist[0, source] = 0).
+            return R, hops, paths
+
+        for a, src in enumerate(sources):
+            for b, dst in enumerate(destinations):
+                if src == dst:
+                    R[a, b] = 0.0
+                    hops[a, b] = 0
+                    if with_paths:
+                        paths[(int(src), int(dst))] = Path(nodes=(int(src),), edges=())
+                    continue
+                best_path: Optional[Path] = None
+                best_res = np.inf
+                best_hops = np.inf
+                for path in iter_simple_paths(topology, int(src), int(dst), self.max_hops):
+                    res = _path_resistance(path, weights)
+                    if res < best_res - _TIE_TOL or (
+                        abs(res - best_res) <= _TIE_TOL and path.num_hops < best_hops
+                    ):
+                        best_path, best_res, best_hops = path, res, path.num_hops
+                if best_path is not None:
+                    R[a, b] = best_res
+                    hops[a, b] = best_path.num_hops
+                    if with_paths:
+                        paths[(int(src), int(dst))] = best_path
+        return R, hops, paths
+
+    def trmin_matrix(
+        self,
+        topology: Topology,
+        sources: Sequence[int],
+        destinations: Sequence[int],
+        data_mb: Sequence[float],
+        with_paths: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Tuple[int, int], Path]]:
+        """Eq. 2 as a matrix: ``T[a, b] = D_a * R[a, b]`` seconds.
+
+        ``data_mb[a]`` is the monitoring data volume ``D_i`` of
+        ``sources[a]``.
+        """
+        data = np.asarray(data_mb, dtype=float)
+        if data.shape != (len(sources),):
+            raise RoutingError(
+                f"need one data volume per source: got {data.shape} for "
+                f"{len(sources)} sources"
+            )
+        if (data < 0).any():
+            raise RoutingError("data volumes must be non-negative")
+        R, hops, paths = self.resistance_matrix(topology, sources, destinations, with_paths)
+        return data[:, None] * R, hops, paths

@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate."""
+
+from __future__ import annotations
+
+from repro.simulation.failures import FailureEvent, FailureInjector
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import ScheduledEvent
+from repro.simulation.network_sim import Message, MessageNetwork
+from repro.simulation.profiles import DiurnalProfile, RandomWalkProfile, SpikeProfile
+from repro.simulation.random import rng_from, spawn_seeds
+from repro.simulation.traffic import GravityTrafficMatrix
+
+__all__ = [
+    "FailureEvent",
+    "FailureInjector",
+    "DiurnalProfile",
+    "GravityTrafficMatrix",
+    "Message",
+    "MessageNetwork",
+    "RandomWalkProfile",
+    "ScheduledEvent",
+    "SpikeProfile",
+    "SimulationEngine",
+    "rng_from",
+    "spawn_seeds",
+]

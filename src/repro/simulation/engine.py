@@ -1,0 +1,130 @@
+"""Minimal deterministic discrete-event engine.
+
+Drives the DUST control plane: periodic STAT reports, manager
+optimization rounds, keepalive timers, and message deliveries all run
+as scheduled events on one virtual clock. Determinism matters — every
+experiment is reproducible from its seed — so simultaneous events fire
+in scheduling order (see :class:`~repro.simulation.events.ScheduledEvent`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.simulation.events import Handler, ScheduledEvent
+
+
+class SimulationEngine:
+    """Virtual-time event loop."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[ScheduledEvent] = []
+        self._sequence = 0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------------
+    def schedule_at(self, time: float, handler: Handler, label: str = "") -> ScheduledEvent:
+        """Schedule ``handler(engine)`` at absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before now ({self._now})"
+            )
+        event = ScheduledEvent(time=time, sequence=self._sequence, handler=handler, label=label)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, handler: Handler, label: str = "") -> ScheduledEvent:
+        """Schedule ``handler(engine)`` after a relative delay ≥ 0."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.schedule_at(self._now + delay, handler, label)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        handler: Handler,
+        label: str = "",
+        first_delay: Optional[float] = None,
+        condition: Optional[Callable[[], bool]] = None,
+    ) -> ScheduledEvent:
+        """Schedule ``handler`` every ``period`` seconds until
+        ``condition()`` (checked before each firing) returns ``False``.
+        Returns the first occurrence's event (cancel it to stop the
+        chain before it starts)."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+
+        def tick(engine: "SimulationEngine") -> None:
+            if condition is not None and not condition():
+                return
+            handler(engine)
+            engine.schedule_after(period, tick, label)
+
+        delay = period if first_delay is None else first_delay
+        return self.schedule_after(delay, tick, label)
+
+    # -- execution ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event; returns ``False`` when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.handler(self)
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events with ``time <= end_time``; advances the clock to
+        ``end_time`` afterwards. Returns the number of events processed."""
+        if end_time < self._now:
+            raise SimulationError(f"end_time {end_time} is before now ({self._now})")
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run_until)")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > end_time:
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                self.events_processed += 1
+                processed += 1
+                head.handler(self)
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if not self._heap or self._heap[0].time > end_time:
+            self._now = end_time
+        return processed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

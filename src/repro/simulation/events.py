@@ -1,0 +1,29 @@
+"""Event types for the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: An event handler receives the engine so it can schedule follow-ups.
+Handler = Callable[["object"], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Heap entry: ordered by (time, sequence) for deterministic ties.
+
+    ``sequence`` is a monotonically increasing insertion counter, so two
+    events at the same timestamp fire in scheduling order — this makes
+    whole simulations reproducible from a seed.
+    """
+
+    time: float
+    sequence: int
+    handler: Handler = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True

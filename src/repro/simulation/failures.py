@@ -1,0 +1,106 @@
+"""Failure injection for resilience experiments.
+
+Schedules crash/recover events against DUST clients on the virtual
+clock, either from an explicit scenario or from an exponential
+failure/repair process. Used by the failure-recovery example and the
+post-offload resilience tests to exercise keepalive expiry, REP replica
+substitution, and client re-admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled transition."""
+
+    time: float
+    node_id: int
+    kind: str  # "crash" or "recover"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "recover"):
+            raise SimulationError(f"unknown failure event kind {self.kind!r}")
+        if self.time < 0:
+            raise SimulationError("failure events need non-negative times")
+
+
+class FailureInjector:
+    """Applies a crash/recover schedule to a set of clients.
+
+    ``clients`` maps node id → an object with ``fail()`` / ``recover()``
+    and an ``alive`` attribute (duck-typed so tests can use doubles).
+    """
+
+    def __init__(self, engine: SimulationEngine, clients: Dict[int, object]) -> None:
+        self.engine = engine
+        self.clients = clients
+        self.applied: List[FailureEvent] = []
+
+    # -- explicit scenarios ---------------------------------------------------------
+    def schedule(self, events: Sequence[FailureEvent]) -> None:
+        """Schedule an explicit event list (validated against clients)."""
+        for event in events:
+            if event.node_id not in self.clients:
+                raise SimulationError(f"no client for node {event.node_id}")
+            self.engine.schedule_at(
+                event.time,
+                lambda engine, ev=event: self._apply(ev),
+                label=f"{event.kind}-{event.node_id}",
+            )
+
+    def _apply(self, event: FailureEvent) -> None:
+        client = self.clients[event.node_id]
+        if event.kind == "crash":
+            if getattr(client, "alive", True):
+                client.fail()
+                self.applied.append(event)
+        else:
+            if not getattr(client, "alive", True):
+                client.recover()
+                self.applied.append(event)
+
+    # -- stochastic process -----------------------------------------------------------
+    def schedule_exponential(
+        self,
+        horizon_s: float,
+        mtbf_s: float,
+        mttr_s: float,
+        seed: Optional[int] = None,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> List[FailureEvent]:
+        """Independent exponential failure/repair per node up to
+        ``horizon_s``; returns (and schedules) the generated events.
+
+        ``mtbf_s``: mean time between failures while up;
+        ``mttr_s``: mean time to repair while down.
+        """
+        if horizon_s <= 0 or mtbf_s <= 0 or mttr_s <= 0:
+            raise SimulationError("horizon, MTBF and MTTR must be positive")
+        rng = np.random.default_rng(seed)
+        target_nodes = list(nodes) if nodes is not None else sorted(self.clients)
+        events: List[FailureEvent] = []
+        for node in target_nodes:
+            if node not in self.clients:
+                raise SimulationError(f"no client for node {node}")
+            t = self.engine.now
+            up = True
+            while True:
+                t += float(rng.exponential(mtbf_s if up else mttr_s))
+                if t >= horizon_s:
+                    break
+                events.append(
+                    FailureEvent(time=t, node_id=node, kind="crash" if up else "recover")
+                )
+                up = not up
+        events.sort(key=lambda e: (e.time, e.node_id))
+        self.schedule(events)
+        return events

@@ -1,0 +1,137 @@
+"""Message-passing network over a topology.
+
+The DUST control plane (Offload-capable / ACK / STAT / Offload-Request
+/ Offload-ACK / Keepalive / REP messages, Section III-B) rides on this
+layer: :class:`MessageNetwork` delivers payloads between node ids with
+a latency equal to the hop-path latency on the underlying topology, via
+the discrete-event engine. Endpoints register a receive callback;
+unreachable destinations raise immediately (the control network is the
+same fabric, which the paper assumes stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.routing.shortest import hop_constrained_shortest
+from repro.simulation.engine import SimulationEngine
+from repro.topology.graph import Topology
+
+#: Receive callback: (message) -> None.
+Receiver = Callable[["Message"], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered control-plane message."""
+
+    source: int
+    destination: int
+    payload: Any
+    sent_at: float
+    delivered_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class MessageNetwork:
+    """Latency-faithful message delivery between topology nodes."""
+
+    def __init__(self, topology: Topology, engine: SimulationEngine) -> None:
+        self.topology = topology
+        self.engine = engine
+        self._receivers: Dict[int, Receiver] = {}
+        self._latency_cache: Optional[np.ndarray] = None
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- endpoints --------------------------------------------------------------
+    def register(self, node_id: int, receiver: Receiver) -> None:
+        """Attach the receive callback for ``node_id``."""
+        self.topology.node(node_id)
+        if node_id in self._receivers:
+            raise SimulationError(f"node {node_id} already has a registered receiver")
+        self._receivers[node_id] = receiver
+
+    def unregister(self, node_id: int) -> None:
+        self._receivers.pop(node_id, None)
+
+    # -- latency model -------------------------------------------------------------
+    def _latencies(self) -> np.ndarray:
+        """All-pairs control latency (seconds) via min-latency paths.
+
+        Computed lazily once; link latencies are assumed static for the
+        control plane (data-plane utilization changes do not affect
+        propagation delay).
+        """
+        if self._latency_cache is None:
+            n = self.topology.num_nodes
+            weights = np.array(
+                [link.latency_ms / 1000.0 for link in self.topology.links]
+            )
+            # Zero-latency links still need positive weights for the DP.
+            weights = np.maximum(weights, 1e-9)
+            cache = np.full((n, n), np.inf)
+            for src in range(n):
+                result = hop_constrained_shortest(self.topology, src, None, weights)
+                cache[src] = result.best
+            self._latency_cache = cache
+        return self._latency_cache
+
+    def latency_between(self, source: int, destination: int) -> float:
+        """Control-plane latency between two nodes in seconds."""
+        value = float(self._latencies()[source, destination])
+        if not np.isfinite(value):
+            raise SimulationError(f"nodes {source} and {destination} are disconnected")
+        return value
+
+    # -- sending ------------------------------------------------------------------------
+    def send(self, source: int, destination: int, payload: Any) -> None:
+        """Queue a message for latency-delayed delivery.
+
+        Sending to a node with no registered receiver (crashed or never
+        started) silently drops the message, like a real network — the
+        drop is counted in :attr:`messages_dropped`.
+        """
+        self.topology.node(destination)
+        if destination not in self._receivers:
+            self.messages_dropped += 1
+            return
+        latency = self.latency_between(source, destination)
+        sent_at = self.engine.now
+        self.messages_sent += 1
+
+        def deliver(engine: SimulationEngine) -> None:
+            receiver = self._receivers.get(destination)
+            if receiver is None:
+                self.messages_dropped += 1
+                return  # endpoint left the network while in flight
+            self.messages_delivered += 1
+            receiver(
+                Message(
+                    source=source,
+                    destination=destination,
+                    payload=payload,
+                    sent_at=sent_at,
+                    delivered_at=engine.now,
+                )
+            )
+
+        self.engine.schedule_after(latency, deliver, label=f"msg {source}->{destination}")
+
+    def broadcast(self, source: int, payload: Any) -> int:
+        """Send to every registered endpoint except ``source``; returns
+        the number of messages queued."""
+        count = 0
+        for node_id in list(self._receivers):
+            if node_id != source:
+                self.send(source, node_id, payload)
+                count += 1
+        return count

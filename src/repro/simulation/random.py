@@ -1,0 +1,28 @@
+"""Seed management helpers.
+
+Every experiment derives per-iteration seeds from one master seed with
+:func:`spawn_seeds` (numpy ``SeedSequence`` children), so individual
+iterations are independently reproducible and experiments stay
+deterministic regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+def spawn_seeds(master_seed: Optional[int], count: int) -> List[int]:
+    """Derive ``count`` independent 32-bit child seeds from a master."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seq = np.random.SeedSequence(master_seed)
+    return [int(s.generate_state(1)[0]) for s in seq.spawn(count)]
+
+
+def rng_from(master_seed: Optional[int], stream: int = 0) -> np.random.Generator:
+    """A generator for stream ``stream`` of a master seed."""
+    seq = np.random.SeedSequence(master_seed)
+    children = seq.spawn(stream + 1)
+    return np.random.default_rng(children[stream])

@@ -1,0 +1,147 @@
+"""Streaming anomaly detection for monitor-agent analytics.
+
+The paper motivates in-device telemetry with "predicting failures in
+advance" and ships a *fault finder* agent; this module provides the
+analytics those agents run over TSDB series:
+
+* :class:`EwmaDetector` — exponentially-weighted mean/variance with a
+  z-score threshold (classic streaming detector, O(1) per sample);
+* :class:`RateOfChangeDetector` — flags derivative spikes (interface
+  error bursts, tunnel churn storms);
+* :func:`scan_series` — run a detector over a stored TSDB series and
+  return the anomalous timestamps.
+
+Detectors are deliberately allocation-free per sample so they can sit
+on the device's hot path at line-rate update frequencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TelemetryError
+from repro.telemetry.tsdb import TimeSeriesDatabase
+
+
+@dataclass
+class AnomalyEvent:
+    """One flagged sample."""
+
+    timestamp: float
+    value: float
+    score: float  # detector-specific magnitude (z-score, rate ratio...)
+
+
+class EwmaDetector:
+    """EWMA mean/variance z-score detector.
+
+    Maintains ``mean`` and ``var`` with decay ``alpha``; a sample is
+    anomalous when ``|x - mean| / std > threshold`` *after* the warmup
+    count (scores during warmup are suppressed, not just unreliable).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        threshold: float = 3.0,
+        warmup: int = 10,
+        min_std: float = 1e-9,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise TelemetryError(f"alpha must be in (0, 1], got {alpha}")
+        if threshold <= 0:
+            raise TelemetryError(f"threshold must be positive, got {threshold}")
+        if warmup < 0:
+            raise TelemetryError(f"warmup must be non-negative, got {warmup}")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup = warmup
+        self.min_std = min_std
+        self._mean = 0.0
+        self._var = 0.0
+        self._count = 0
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(self._var, 0.0))
+
+    @property
+    def samples_seen(self) -> int:
+        return self._count
+
+    def update(self, value: float) -> float:
+        """Ingest one sample; returns its anomaly score (0 in warmup).
+
+        The score is computed against the *pre-update* statistics so an
+        anomalous sample does not dilute its own detection.
+        """
+        score = 0.0
+        if self._count >= self.warmup:
+            std = max(self.std, self.min_std)
+            score = abs(value - self._mean) / std
+        if self._count == 0:
+            self._mean = value
+            self._var = 0.0
+        else:
+            delta = value - self._mean
+            self._mean += self.alpha * delta
+            self._var = (1.0 - self.alpha) * (self._var + self.alpha * delta * delta)
+        self._count += 1
+        return score
+
+    def is_anomalous(self, value: float) -> bool:
+        """Ingest and threshold in one call."""
+        return self.update(value) > self.threshold
+
+
+class RateOfChangeDetector:
+    """Flags samples whose per-second derivative exceeds a bound."""
+
+    def __init__(self, max_rate_per_s: float) -> None:
+        if max_rate_per_s <= 0:
+            raise TelemetryError(f"max rate must be positive, got {max_rate_per_s}")
+        self.max_rate_per_s = max_rate_per_s
+        self._last: Optional[Tuple[float, float]] = None
+
+    def update(self, timestamp: float, value: float) -> float:
+        """Returns |derivative| / max_rate (>1 means anomalous)."""
+        if self._last is None:
+            self._last = (timestamp, value)
+            return 0.0
+        t0, v0 = self._last
+        self._last = (timestamp, value)
+        dt = timestamp - t0
+        if dt <= 0:
+            return 0.0
+        return abs(value - v0) / dt / self.max_rate_per_s
+
+    def is_anomalous(self, timestamp: float, value: float) -> bool:
+        return self.update(timestamp, value) > 1.0
+
+
+def scan_series(
+    tsdb: TimeSeriesDatabase,
+    metric: str,
+    detector: Optional[EwmaDetector] = None,
+    tags=None,
+    start: float = -np.inf,
+    end: float = np.inf,
+) -> List[AnomalyEvent]:
+    """Run an EWMA detector over a stored series; returns flagged
+    samples in time order."""
+    detector = detector or EwmaDetector()
+    times, values = tsdb.query(metric, start, end, tags)
+    events: List[AnomalyEvent] = []
+    for t, v in zip(times, values):
+        score = detector.update(float(v))
+        if score > detector.threshold:
+            events.append(AnomalyEvent(timestamp=float(t), value=float(v), score=score))
+    return events

@@ -1,0 +1,157 @@
+"""Time-series federation — the DUST-Manager's network-wide view.
+
+The architecture's "Time-Series Federation" component (Fig. 2)
+aggregates per-node TSDB data "throughout the underlying network".
+:class:`TimeSeriesFederation` registers member TSDBs, fans queries out
+across them, and merges the results — including federated bucketed
+downsampling, which is how the manager builds fleet-wide utilization
+views without shipping raw samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TelemetryError
+from repro.telemetry.tsdb import TimeSeriesDatabase, series_key
+
+
+@dataclass(frozen=True)
+class FederatedPoint:
+    """One sample with its originating member."""
+
+    member: str
+    timestamp: float
+    value: float
+
+
+class TimeSeriesFederation:
+    """Query fan-out across member TSDBs."""
+
+    def __init__(self) -> None:
+        self._members: Dict[str, TimeSeriesDatabase] = {}
+
+    def register(self, name: str, tsdb: TimeSeriesDatabase) -> None:
+        """Add a member store under a unique name."""
+        if name in self._members:
+            raise TelemetryError(f"federation member {name!r} already registered")
+        self._members[name] = tsdb
+
+    def unregister(self, name: str) -> None:
+        if name not in self._members:
+            raise TelemetryError(f"unknown federation member {name!r}")
+        del self._members[name]
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        return tuple(self._members)
+
+    def member(self, name: str) -> TimeSeriesDatabase:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise TelemetryError(f"unknown federation member {name!r}") from None
+
+    # -- queries -------------------------------------------------------------------
+    def query(
+        self,
+        metric: str,
+        start: float = -np.inf,
+        end: float = np.inf,
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> List[FederatedPoint]:
+        """All samples of ``metric`` across members, time-ordered."""
+        points: List[FederatedPoint] = []
+        key = series_key(metric, tags)
+        for name, tsdb in self._members.items():
+            if key not in tsdb.series_keys:
+                continue
+            times, values = tsdb.query(metric, start, end, tags)
+            points.extend(
+                FederatedPoint(member=name, timestamp=float(t), value=float(v))
+                for t, v in zip(times, values)
+            )
+        points.sort(key=lambda p: (p.timestamp, p.member))
+        return points
+
+    def latest_by_member(
+        self, metric: str, tags: Optional[Mapping[str, str]] = None
+    ) -> Dict[str, float]:
+        """Most recent value of ``metric`` per member that has it."""
+        key = series_key(metric, tags)
+        out: Dict[str, float] = {}
+        for name, tsdb in self._members.items():
+            if key in tsdb.series_keys and len(tsdb.series(metric, tags)):
+                _, value = tsdb.series(metric, tags).latest()
+                out[name] = value
+        return out
+
+    def aggregate_across(
+        self,
+        metric: str,
+        aggregate: str = "mean",
+        start: float = -np.inf,
+        end: float = np.inf,
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> float:
+        """Aggregate of all members' samples merged into one population
+        (``nan`` when nobody has data)."""
+        points = self.query(metric, start, end, tags)
+        if not points:
+            return float("nan")
+        values = np.array([p.value for p in points])
+        if aggregate == "mean":
+            return float(values.mean())
+        if aggregate == "max":
+            return float(values.max())
+        if aggregate == "min":
+            return float(values.min())
+        if aggregate == "sum":
+            return float(values.sum())
+        if aggregate == "count":
+            return float(values.size)
+        raise TelemetryError(f"unknown aggregate {aggregate!r}")
+
+    def federated_downsample(
+        self,
+        metric: str,
+        bucket_s: float,
+        aggregate: str = "mean",
+        start: float = -np.inf,
+        end: float = np.inf,
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge member samples and bucket them: the compressed
+        network-wide series the manager stores in its NMDB."""
+        points = self.query(metric, start, end, tags)
+        if not points:
+            return np.zeros(0), np.zeros(0)
+        times = np.array([p.timestamp for p in points])
+        values = np.array([p.value for p in points])
+        buckets = np.floor(times / bucket_s).astype(np.int64)
+        uniq = np.unique(buckets)
+        out_t = uniq.astype(float) * bucket_s
+        if aggregate == "mean":
+            sums = np.zeros(uniq.size)
+            counts = np.zeros(uniq.size)
+            pos = np.searchsorted(uniq, buckets)
+            np.add.at(sums, pos, values)
+            np.add.at(counts, pos, 1.0)
+            return out_t, sums / counts
+        out_v = []
+        for b in uniq:
+            sel = values[buckets == b]
+            if aggregate == "max":
+                out_v.append(sel.max())
+            elif aggregate == "min":
+                out_v.append(sel.min())
+            elif aggregate == "sum":
+                out_v.append(sel.sum())
+            elif aggregate == "count":
+                out_v.append(float(sel.size))
+            else:
+                raise TelemetryError(f"unknown aggregate {aggregate!r}")
+        return out_t, np.asarray(out_v, dtype=float)

@@ -1,0 +1,146 @@
+"""Traffic-driven DB update workload.
+
+The monitoring load the paper measures is a function of how fast the
+NOS state DB churns under data-plane traffic; 20% line-rate VxLAN
+overlay traffic on the testbed drives the monitoring module to ~100%
+average module CPU with ~600% spikes (Fig. 1). :class:`UpdateRateProfile`
+captures per-table steady update rates at a reference traffic
+intensity, and :class:`DeviceWorkloadDriver` converts an intensity time
+series into Poisson-sampled update counts applied to a device DB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import TelemetryError
+from repro.telemetry.device import NetworkDevice
+
+#: Steady per-table DB update rates (updates/second) at reference
+#: intensity 1.0 (= the paper's 20% line-rate VxLAN workload). The split
+#: is dominated by interface counters and tunnel/route churn, matching
+#: how overlay traffic exercises a DC switch.
+DEFAULT_TABLE_RATES: Dict[str, float] = {
+    "interface_counters": 1200.0,
+    "vxlan_tunnels": 500.0,
+    "routes": 350.0,
+    "acl_stats": 250.0,
+    "asic_stats": 180.0,
+    "interfaces": 150.0,
+    "process_stats": 120.0,
+    "system_stats": 100.0,
+    "system_logs": 60.0,
+    "daemons": 40.0,
+    "sensors": 30.0,
+    "bgp_neighbors": 25.0,
+    "ospf_interfaces": 25.0,
+    "lldp_neighbors": 20.0,
+    "transceivers": 20.0,
+    "power_supplies": 5.0,
+    "fans": 5.0,
+}
+
+
+@dataclass(frozen=True)
+class UpdateRateProfile:
+    """Per-table update rates at reference intensity."""
+
+    rates_per_s: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_TABLE_RATES))
+
+    def __post_init__(self) -> None:
+        for table, rate in self.rates_per_s.items():
+            if rate < 0:
+                raise TelemetryError(f"table {table!r}: rate must be non-negative, got {rate}")
+
+    @property
+    def total_rate_per_s(self) -> float:
+        return float(sum(self.rates_per_s.values()))
+
+    def scaled(self, factor: float) -> "UpdateRateProfile":
+        """A profile with every rate multiplied by ``factor``."""
+        if factor < 0:
+            raise TelemetryError(f"scale factor must be non-negative, got {factor}")
+        return UpdateRateProfile({t: r * factor for t, r in self.rates_per_s.items()})
+
+
+@dataclass
+class BurstModel:
+    """Occasional traffic bursts on top of the steady intensity.
+
+    Each interval independently bursts with probability
+    ``burst_probability``; during a burst the intensity multiplies by a
+    draw from ``Uniform(min_multiplier, max_multiplier)``. This
+    reproduces Fig. 1's shape: a ~100% average with rare multi-core
+    spikes.
+    """
+
+    burst_probability: float = 0.06
+    min_multiplier: float = 2.0
+    max_multiplier: float = 7.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise TelemetryError("burst probability must be in [0, 1]")
+        if not 1.0 <= self.min_multiplier <= self.max_multiplier:
+            raise TelemetryError("burst multipliers must satisfy 1 <= min <= max")
+
+    def sample_multiplier(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.burst_probability:
+            return float(rng.uniform(self.min_multiplier, self.max_multiplier))
+        return 1.0
+
+
+class DeviceWorkloadDriver:
+    """Applies traffic-driven DB churn to one device.
+
+    Parameters
+    ----------
+    device:
+        Target device (tables are created on demand).
+    profile:
+        Steady rates at intensity 1.0.
+    intensity:
+        Baseline traffic intensity multiplier (1.0 = reference load).
+    bursts:
+        Optional :class:`BurstModel`; ``None`` disables bursts.
+    seed:
+        RNG seed for Poisson sampling and burst draws.
+    """
+
+    def __init__(
+        self,
+        device: NetworkDevice,
+        profile: Optional[UpdateRateProfile] = None,
+        intensity: float = 1.0,
+        bursts: Optional[BurstModel] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if intensity < 0:
+            raise TelemetryError(f"intensity must be non-negative, got {intensity}")
+        self.device = device
+        self.profile = profile or UpdateRateProfile()
+        self.intensity = intensity
+        self.bursts = bursts
+        self._rng = np.random.default_rng(seed)
+        for table in self.profile.rates_per_s:
+            device.database.ensure_table(table)
+        self.last_multiplier = 1.0
+
+    def advance(self, dt_s: float) -> int:
+        """Generate one interval's DB churn; returns total updates."""
+        if dt_s <= 0:
+            raise TelemetryError(f"dt must be positive, got {dt_s}")
+        multiplier = self.bursts.sample_multiplier(self._rng) if self.bursts else 1.0
+        self.last_multiplier = multiplier
+        total = 0
+        effective = self.intensity * multiplier
+        for table, rate in self.profile.rates_per_s.items():
+            lam = rate * effective * dt_s
+            count = int(self._rng.poisson(lam)) if lam > 0 else 0
+            if count:
+                self.device.database.record_synthetic_updates(table, count)
+                total += count
+        return total

@@ -1,0 +1,149 @@
+"""Testbed measurement harness for Figures 1 and 6.
+
+Runs the emulated DUT under VxLAN load in two modes:
+
+* **local** — all 10 agents execute on the switch (Fig. 1's time
+  series; Fig. 6's "local monitoring" bars);
+* **offloaded** — DUST has moved every agent to a remote server,
+  leaving export stubs (Fig. 6's "DUST" bars).
+
+Returns per-interval samples plus the summary statistics the paper
+quotes: average module CPU, peak module CPU, average device CPU,
+average memory, and the monitoring memory footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TelemetryError
+from repro.telemetry.device import IntervalSample, NetworkDevice
+from repro.testbed.aruba8325 import build_dut, offload_server_profile
+from repro.testbed.vxlan import VxlanWorkload
+
+
+@dataclass(frozen=True)
+class MonitoringRunResult:
+    """Outcome of one monitoring run on the emulated testbed."""
+
+    mode: str  # "local" or "offloaded"
+    samples: Tuple[IntervalSample, ...]
+    remote_samples: Tuple[IntervalSample, ...]  # empty for local mode
+
+    # -- summary statistics ----------------------------------------------------
+    @property
+    def module_cpu_pct(self) -> np.ndarray:
+        return np.array([s.monitoring_cpu_pct for s in self.samples])
+
+    @property
+    def device_cpu_pct(self) -> np.ndarray:
+        return np.array([s.device_cpu_pct for s in self.samples])
+
+    @property
+    def memory_pct(self) -> np.ndarray:
+        return np.array([s.memory_pct for s in self.samples])
+
+    @property
+    def avg_module_cpu_pct(self) -> float:
+        return float(self.module_cpu_pct.mean())
+
+    @property
+    def peak_module_cpu_pct(self) -> float:
+        return float(self.module_cpu_pct.max())
+
+    @property
+    def avg_device_cpu_pct(self) -> float:
+        return float(self.device_cpu_pct.mean())
+
+    @property
+    def avg_memory_pct(self) -> float:
+        return float(self.memory_pct.mean())
+
+    @property
+    def monitoring_memory_mb(self) -> float:
+        return float(self.samples[-1].monitoring_memory_mb) if self.samples else 0.0
+
+
+def run_monitoring(
+    mode: str = "local",
+    intervals: int = 60,
+    interval_s: float = 60.0,
+    workload: Optional[VxlanWorkload] = None,
+    seed: Optional[int] = 42,
+) -> MonitoringRunResult:
+    """Run the emulated DUT for ``intervals`` collection intervals.
+
+    ``mode="offloaded"`` installs a remote offload server and moves all
+    10 agents there before the run, per DUST's placement outcome on the
+    testbed.
+    """
+    if mode not in ("local", "offloaded"):
+        raise TelemetryError(f"mode must be 'local' or 'offloaded', got {mode!r}")
+    if intervals < 1:
+        raise TelemetryError(f"intervals must be >= 1, got {intervals}")
+    workload = workload or VxlanWorkload(seed=seed)
+    dut = build_dut()
+    driver = workload.driver_for(dut)
+
+    remote: Optional[NetworkDevice] = None
+    if mode == "offloaded":
+        remote = NetworkDevice(offload_server_profile())
+        for name in list(dut.local_agents):
+            spec = dut.offload_agent(name)
+            remote.host_remote_agent(spec, dut.profile.name)
+
+    samples: List[IntervalSample] = []
+    remote_samples: List[IntervalSample] = []
+    now = 0.0
+    for _ in range(intervals):
+        driver.advance(interval_s)
+        now += interval_s
+        samples.append(dut.step(now, interval_s))
+        if remote is not None:
+            for shipment in dut.drain_outbox():
+                remote.deliver(shipment)
+            remote_samples.append(remote.step(now, interval_s))
+
+    return MonitoringRunResult(
+        mode=mode,
+        samples=tuple(samples),
+        remote_samples=tuple(remote_samples),
+    )
+
+
+@dataclass(frozen=True)
+class OffloadComparison:
+    """Fig. 6 side-by-side: local vs DUST-offloaded operating points."""
+
+    local: MonitoringRunResult
+    offloaded: MonitoringRunResult
+
+    @property
+    def cpu_reduction_pct(self) -> float:
+        """Relative device-CPU saving (paper: ≈52%, 31% → 15%)."""
+        return 100.0 * (
+            1.0 - self.offloaded.avg_device_cpu_pct / self.local.avg_device_cpu_pct
+        )
+
+    @property
+    def memory_reduction_pct(self) -> float:
+        """Relative memory saving (paper: ≈12%, 70% → 62%)."""
+        return 100.0 * (
+            1.0 - self.offloaded.avg_memory_pct / self.local.avg_memory_pct
+        )
+
+
+def compare_local_vs_offloaded(
+    intervals: int = 60,
+    interval_s: float = 60.0,
+    seed: int = 42,
+) -> OffloadComparison:
+    """Run both modes under the same workload seed and compare."""
+    local = run_monitoring("local", intervals, interval_s, VxlanWorkload(seed=seed))
+    offloaded = run_monitoring(
+        "offloaded", intervals, interval_s, VxlanWorkload(seed=seed)
+    )
+    return OffloadComparison(local=local, offloaded=offloaded)

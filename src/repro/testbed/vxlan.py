@@ -1,0 +1,68 @@
+"""VxLAN overlay workload for the testbed emulation.
+
+The paper stresses the DUT with "20% line-rate VxLAN overlay traffic in
+a data-center topology". What the monitoring module actually *sees* of
+that traffic is DB churn: tunnel state changes, route updates and
+counter refreshes. :class:`VxlanWorkload` converts a line-rate fraction
+into an update-rate intensity (reference intensity 1.0 ≡ 20% line rate,
+the calibration point) with the burst behaviour responsible for
+Fig. 1's CPU spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TelemetryError
+from repro.telemetry.device import NetworkDevice
+from repro.telemetry.workload import BurstModel, DeviceWorkloadDriver, UpdateRateProfile
+
+#: Line-rate fraction at which the update-rate profile was calibrated.
+REFERENCE_LINE_RATE_FRACTION = 0.20
+
+#: Intensity multiplier applied at the reference point so the Fig. 6
+#: *local* operating point lands at ≈31% device CPU (see DESIGN.md's
+#: calibration notes).
+REFERENCE_INTENSITY = 1.3
+
+
+@dataclass
+class VxlanWorkload:
+    """A VxLAN overlay traffic description.
+
+    Attributes
+    ----------
+    line_rate_fraction:
+        Offered load as a fraction of line rate (paper: 0.20).
+    bursty:
+        Enable the burst model (tunnel churn storms, BUM floods).
+    seed:
+        RNG seed for the driver.
+    """
+
+    line_rate_fraction: float = REFERENCE_LINE_RATE_FRACTION
+    bursty: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.line_rate_fraction <= 1.0:
+            raise TelemetryError(
+                f"line-rate fraction must be in [0, 1], got {self.line_rate_fraction}"
+            )
+
+    @property
+    def intensity(self) -> float:
+        """Update-rate intensity: linear in offered load, anchored so
+        the reference fraction maps to the calibrated intensity."""
+        return REFERENCE_INTENSITY * self.line_rate_fraction / REFERENCE_LINE_RATE_FRACTION
+
+    def driver_for(self, device: NetworkDevice) -> DeviceWorkloadDriver:
+        """A workload driver applying this traffic to ``device``."""
+        return DeviceWorkloadDriver(
+            device,
+            profile=UpdateRateProfile(),
+            intensity=self.intensity,
+            bursts=BurstModel() if self.bursty else None,
+            seed=self.seed,
+        )

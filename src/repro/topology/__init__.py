@@ -1,0 +1,54 @@
+"""Network topology substrate: graphs, generators, links, capacities."""
+
+from __future__ import annotations
+
+from repro.topology.capacity import CapacityDistribution, CapacityModel
+from repro.topology.fattree import (
+    PAPER_FAT_TREE_SIZES,
+    FatTreeLayout,
+    build_fat_tree,
+    build_fat_tree_with_layout,
+    fat_tree_edge_count,
+    fat_tree_node_count,
+)
+from repro.topology.generators import (
+    build_grid,
+    build_leaf_spine,
+    build_line,
+    build_random_connected,
+    build_ring,
+    build_star,
+)
+from repro.topology.graph import Node, NodeKind, Topology
+from repro.topology.links import (
+    MIN_EFFECTIVE_BANDWIDTH_MBPS,
+    BandwidthConvention,
+    Link,
+    LinkUtilizationModel,
+    effective_bandwidths,
+)
+
+__all__ = [
+    "BandwidthConvention",
+    "CapacityDistribution",
+    "CapacityModel",
+    "FatTreeLayout",
+    "Link",
+    "LinkUtilizationModel",
+    "MIN_EFFECTIVE_BANDWIDTH_MBPS",
+    "Node",
+    "NodeKind",
+    "PAPER_FAT_TREE_SIZES",
+    "Topology",
+    "build_fat_tree",
+    "build_fat_tree_with_layout",
+    "build_grid",
+    "build_leaf_spine",
+    "build_line",
+    "build_random_connected",
+    "build_ring",
+    "build_star",
+    "effective_bandwidths",
+    "fat_tree_edge_count",
+    "fat_tree_node_count",
+]

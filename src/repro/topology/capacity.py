@@ -1,0 +1,85 @@
+"""Node utilized-capacity models (the ``C_j`` of Table I).
+
+Constraint 3e of the paper bounds each node's utilized capacity to
+``[x_min, 100]`` percent. The scalability simulator redraws node states
+every iteration; :class:`CapacityModel` is that redraw. Several
+distributions are provided because the io-rate experiment (Fig. 7) is
+sensitive to the mass the distribution places above ``C_max`` (busy
+mass) versus below ``CO_max`` (candidate capacity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CapacityError
+
+
+class CapacityDistribution(enum.Enum):
+    """Shape of the per-node utilized-capacity draw."""
+
+    UNIFORM = "uniform"
+    #: Beta(2, 2) stretched over [x_min, 100] — mid-loaded cluster.
+    BETA_MID = "beta-mid"
+    #: Bimodal: mostly idle nodes plus a hot minority — the "transient
+    #: server workloads" regime the paper's assumptions describe.
+    BIMODAL = "bimodal"
+
+
+@dataclass
+class CapacityModel:
+    """Sampler for utilized node capacities in percent.
+
+    Parameters
+    ----------
+    x_min:
+        Minimum utilized capacity of any node (paper's ``x_min``).
+    distribution:
+        One of :class:`CapacityDistribution`.
+    hot_fraction:
+        For :attr:`CapacityDistribution.BIMODAL` — fraction of nodes in
+        the hot (near-overloaded) mode.
+    seed:
+        Seed for the internal generator; use :meth:`reseed` to branch.
+    """
+
+    x_min: float = 10.0
+    distribution: CapacityDistribution = CapacityDistribution.UNIFORM
+    hot_fraction: float = 0.25
+    seed: Optional[int] = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.x_min < 100.0:
+            raise CapacityError(f"x_min must be in [0, 100), got {self.x_min}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise CapacityError(f"hot_fraction must be in [0, 1], got {self.hot_fraction}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the generator (used to make experiment iterations
+        independently reproducible)."""
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, num_nodes: int) -> np.ndarray:
+        """Draw utilized capacities (percent) for ``num_nodes`` nodes,
+        each guaranteed to lie in ``[x_min, 100]``."""
+        if num_nodes < 0:
+            raise CapacityError(f"num_nodes must be non-negative, got {num_nodes}")
+        span = 100.0 - self.x_min
+        if self.distribution is CapacityDistribution.UNIFORM:
+            values = self._rng.uniform(self.x_min, 100.0, size=num_nodes)
+        elif self.distribution is CapacityDistribution.BETA_MID:
+            values = self.x_min + span * self._rng.beta(2.0, 2.0, size=num_nodes)
+        elif self.distribution is CapacityDistribution.BIMODAL:
+            hot = self._rng.random(num_nodes) < self.hot_fraction
+            cool_vals = self.x_min + span * self._rng.beta(2.0, 5.0, size=num_nodes)
+            hot_vals = self.x_min + span * self._rng.beta(8.0, 1.5, size=num_nodes)
+            values = np.where(hot, hot_vals, cool_vals)
+        else:  # pragma: no cover - enum is closed
+            raise CapacityError(f"unknown distribution {self.distribution}")
+        return np.clip(values, self.x_min, 100.0)

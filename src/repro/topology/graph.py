@@ -1,0 +1,262 @@
+"""The :class:`Topology` graph type used across the reproduction.
+
+A thin, explicit undirected multigraph-free graph: integer node ids,
+node metadata (kind/name/pod), one :class:`~repro.topology.links.Link`
+per edge, adjacency lists, and vectorized accessors for the routing
+layer. ``networkx`` interop is provided for generators and for users
+who want to bring their own graphs, but the hot paths (path
+enumeration, hop-constrained shortest path) run on plain arrays and
+adjacency lists — per the HPC guide, the heavy lifting stays out of
+generic-object traversal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.links import BandwidthConvention, Link
+
+
+class NodeKind(enum.Enum):
+    """Hardware persona of a node — DUST is hardware-agnostic, so every
+    kind can host monitoring agents; the kind only affects capacity
+    profiles and reporting."""
+
+    CORE_SWITCH = "core-switch"
+    AGG_SWITCH = "agg-switch"
+    EDGE_SWITCH = "edge-switch"
+    SWITCH = "switch"
+    SERVER = "server"
+    DPU = "dpu"
+    SMARTNIC = "smartnic"
+
+
+@dataclass
+class Node:
+    """A network node: id, display name, hardware kind, optional pod."""
+
+    node_id: int
+    name: str
+    kind: NodeKind = NodeKind.SWITCH
+    pod: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class Topology:
+    """Undirected graph of :class:`Node` connected by :class:`Link`.
+
+    Nodes are dense integers ``0..n-1``. Parallel edges and self-loops
+    are rejected — neither occurs in the paper's fat-tree testbeds and
+    allowing them would complicate path semantics for no modeling gain.
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: List[Node] = []
+        self._links: List[Link] = []
+        self._endpoints: List[Tuple[int, int]] = []
+        self._adjacency: List[List[Tuple[int, int]]] = []  # node -> [(neighbor, edge_id)]
+        self._edge_index: Dict[Tuple[int, int], int] = {}
+
+    # -- construction -----------------------------------------------------------
+    def add_node(
+        self,
+        name: Optional[str] = None,
+        kind: NodeKind = NodeKind.SWITCH,
+        pod: Optional[int] = None,
+        **attrs: object,
+    ) -> int:
+        """Add a node; returns its integer id."""
+        node_id = len(self._nodes)
+        self._nodes.append(
+            Node(node_id=node_id, name=name or f"n{node_id}", kind=kind, pod=pod, attrs=attrs)
+        )
+        self._adjacency.append([])
+        return node_id
+
+    def add_edge(self, u: int, v: int, link: Optional[Link] = None) -> int:
+        """Connect ``u`` and ``v``; returns the edge id."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise TopologyError(f"self-loop on node {u} is not allowed")
+        key = (min(u, v), max(u, v))
+        if key in self._edge_index:
+            raise TopologyError(f"duplicate edge between {u} and {v}")
+        edge_id = len(self._links)
+        self._links.append(link if link is not None else Link())
+        self._endpoints.append(key)
+        self._edge_index[key] = edge_id
+        self._adjacency[u].append((v, edge_id))
+        self._adjacency[v].append((u, edge_id))
+        return edge_id
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < len(self._nodes):
+            raise TopologyError(
+                f"node {node_id} does not exist in topology {self.name!r} "
+                f"({len(self._nodes)} nodes)"
+            )
+
+    # -- basic queries ------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._links)
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        return tuple(self._nodes)
+
+    @property
+    def links(self) -> Sequence[Link]:
+        return tuple(self._links)
+
+    @property
+    def edges(self) -> Sequence[Tuple[int, int]]:
+        """Edge endpoint pairs ``(u, v)`` with ``u < v``, indexed by edge id."""
+        return tuple(self._endpoints)
+
+    def node(self, node_id: int) -> Node:
+        self._check_node(node_id)
+        return self._nodes[node_id]
+
+    def link(self, edge_id: int) -> Link:
+        if not 0 <= edge_id < len(self._links):
+            raise TopologyError(f"edge {edge_id} does not exist")
+        return self._links[edge_id]
+
+    def link_between(self, u: int, v: int) -> Link:
+        """Link on the edge {u, v}; raises if absent."""
+        return self._links[self.edge_id(u, v)]
+
+    def edge_id(self, u: int, v: int) -> int:
+        self._check_node(u)
+        self._check_node(v)
+        key = (min(u, v), max(u, v))
+        try:
+            return self._edge_index[key]
+        except KeyError:
+            raise TopologyError(f"no edge between {u} and {v}") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self._edge_index
+
+    def neighbors(self, node_id: int) -> List[int]:
+        self._check_node(node_id)
+        return [nbr for nbr, _ in self._adjacency[node_id]]
+
+    def incident(self, node_id: int) -> List[Tuple[int, int]]:
+        """``(neighbor, edge_id)`` pairs around ``node_id``."""
+        self._check_node(node_id)
+        return list(self._adjacency[node_id])
+
+    def degree(self, node_id: int) -> int:
+        self._check_node(node_id)
+        return len(self._adjacency[node_id])
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[int]:
+        return [n.node_id for n in self._nodes if n.kind is kind]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # -- vectorized views -----------------------------------------------------------
+    def effective_bandwidths(
+        self, convention: BandwidthConvention = BandwidthConvention.AVAILABLE
+    ) -> np.ndarray:
+        """Per-edge ``Lu_e`` vector (Mbps), indexed by edge id."""
+        return np.array([link.effective_mbps(convention) for link in self._links])
+
+    def edge_endpoint_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Endpoint arrays ``(us, vs)`` for all edges."""
+        if not self._endpoints:
+            return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+        arr = np.asarray(self._endpoints, dtype=int)
+        return arr[:, 0], arr[:, 1]
+
+    # -- structure checks --------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """BFS connectivity check (empty graph counts as connected)."""
+        if self.num_nodes == 0:
+            return True
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v, _ in self._adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self.num_nodes
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` unless the topology is usable for
+        placement (non-empty and connected)."""
+        if self.num_nodes == 0:
+            raise TopologyError("topology has no nodes")
+        if not self.is_connected():
+            raise TopologyError(f"topology {self.name!r} is not connected")
+
+    # -- networkx interop ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as ``networkx.Graph`` with link attributes on edges."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        for node in self._nodes:
+            g.add_node(node.node_id, name=node.name, kind=node.kind.value, pod=node.pod)
+        for edge_id, (u, v) in enumerate(self._endpoints):
+            link = self._links[edge_id]
+            g.add_edge(
+                u,
+                v,
+                capacity_mbps=link.capacity_mbps,
+                utilization=link.utilization,
+                latency_ms=link.latency_ms,
+            )
+        return g
+
+    @classmethod
+    def from_networkx(cls, graph, name: Optional[str] = None) -> "Topology":
+        """Import a ``networkx.Graph``; node labels may be arbitrary
+        hashables and are relabeled densely (original label kept in
+        ``Node.attrs["label"]``)."""
+        topo = cls(name=name or str(graph.name or "from-networkx"))
+        mapping = {}
+        for label in graph.nodes:
+            data = graph.nodes[label]
+            kind = data.get("kind")
+            mapping[label] = topo.add_node(
+                name=str(data.get("name", label)),
+                kind=NodeKind(kind) if isinstance(kind, str) else NodeKind.SWITCH,
+                pod=data.get("pod"),
+                label=label,
+            )
+        for u, v, data in graph.edges(data=True):
+            if u == v:
+                continue  # drop self-loops silently on import
+            topo.add_edge(
+                mapping[u],
+                mapping[v],
+                Link(
+                    capacity_mbps=float(data.get("capacity_mbps", 10_000.0)),
+                    utilization=float(data.get("utilization", 0.0)),
+                    latency_ms=float(data.get("latency_ms", 0.05)),
+                ),
+            )
+        return topo

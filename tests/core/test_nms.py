@@ -1,0 +1,122 @@
+"""Tests for the Network Monitor Service (Fig. 2 front-end)."""
+
+import pytest
+
+from repro.core import MonitoringRequest, NetworkMonitorService, default_catalog
+from repro.errors import TelemetryError
+from repro.telemetry import DeviceProfile, NetworkDevice
+
+
+def device(name="dut"):
+    return NetworkDevice(DeviceProfile(
+        name=name, cores=8, memory_gb=16.0, base_cpu_pct=15.0, base_memory_mb=8192.0,
+    ))
+
+
+class TestCatalog:
+    def test_catalog_covers_all_paper_metrics(self):
+        catalog = default_catalog()
+        for metric in ("cpu_pct", "rx_pps", "fault_score", "temperature_c"):
+            assert metric in catalog
+
+    def test_agents_for_deduplicates(self):
+        nms = NetworkMonitorService()
+        # rx_pps and tx_pps come from the same agent.
+        specs = nms.agents_for(["rx_pps", "tx_pps"])
+        assert len(specs) == 1
+        assert specs[0].name == "rx-tx-packet-rates"
+
+    def test_unknown_metric_rejected(self):
+        nms = NetworkMonitorService()
+        with pytest.raises(TelemetryError, match="no agent"):
+            nms.agents_for(["quantum_flux"])
+
+
+class TestRequestLifecycle:
+    def test_submit_installs_needed_agents(self):
+        nms = NetworkMonitorService()
+        dev = device()
+        installed = nms.submit(
+            MonitoringRequest(name="r1", metrics=("cpu_pct", "rx_pps")), dev
+        )
+        assert set(installed) == {"system-resource-utilization", "rx-tx-packet-rates"}
+        assert set(dev.local_agents) == set(installed)
+
+    def test_submit_skips_present_agents(self):
+        nms = NetworkMonitorService()
+        dev = device()
+        nms.submit(MonitoringRequest(name="r1", metrics=("cpu_pct",)), dev)
+        installed = nms.submit(
+            MonitoringRequest(name="r2", metrics=("cpu_pct", "fault_score")), dev
+        )
+        assert installed == ["fault-finder"]
+
+    def test_duplicate_request_rejected(self):
+        nms = NetworkMonitorService()
+        dev = device()
+        nms.submit(MonitoringRequest(name="r1", metrics=("cpu_pct",)), dev)
+        with pytest.raises(TelemetryError, match="already active"):
+            nms.submit(MonitoringRequest(name="r1", metrics=("cpu_pct",)), dev)
+
+    def test_alert_rules_installed_and_withdrawn(self):
+        nms = NetworkMonitorService()
+        dev = device()
+        nms.submit(
+            MonitoringRequest(
+                name="r1", metrics=("cpu_pct",), alert_above={"cpu_pct": 90.0}
+            ),
+            dev,
+        )
+        assert any(r.name == "r1/cpu_pct" for r in dev.tsdb.rules)
+        nms.withdraw("r1")
+        assert not dev.tsdb.rules
+        assert nms.active_requests == ()
+
+    def test_withdraw_unknown(self):
+        with pytest.raises(TelemetryError, match="unknown request"):
+            NetworkMonitorService().withdraw("ghost")
+
+    def test_request_validation(self):
+        with pytest.raises(TelemetryError, match="no metrics"):
+            MonitoringRequest(name="r", metrics=())
+        with pytest.raises(TelemetryError, match="unmonitored"):
+            MonitoringRequest(
+                name="r", metrics=("cpu_pct",), alert_above={"rx_pps": 1.0}
+            )
+        with pytest.raises(TelemetryError):
+            MonitoringRequest(name="r", metrics=("cpu_pct",), window_s=0.0)
+
+
+class TestTriggers:
+    def test_trigger_fires_when_metric_exceeds_bound(self):
+        nms = NetworkMonitorService()
+        dev = device()
+        nms.submit(
+            MonitoringRequest(
+                name="hot", metrics=("cpu_pct",),
+                alert_above={"cpu_pct": 50.0}, window_s=600.0,
+            ),
+            dev,
+        )
+        # Drive the agent: updates become the emitted metric value.
+        dev.database.record_synthetic_updates("system_stats", 100)
+        dev.step(now=60.0, interval_s=60.0)
+        events = nms.poll_triggers(now=60.0)
+        assert len(events) == 1
+        assert events[0].rule == "hot/cpu_pct"
+        assert events[0].device == "dut"
+        assert nms.trigger_log == events
+
+    def test_no_trigger_below_bound(self):
+        nms = NetworkMonitorService()
+        dev = device()
+        nms.submit(
+            MonitoringRequest(
+                name="hot", metrics=("cpu_pct",),
+                alert_above={"cpu_pct": 1e9}, window_s=600.0,
+            ),
+            dev,
+        )
+        dev.database.record_synthetic_updates("system_stats", 100)
+        dev.step(now=60.0, interval_s=60.0)
+        assert nms.poll_triggers(now=60.0) == []

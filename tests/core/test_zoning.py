@@ -1,0 +1,165 @@
+"""Tests for the zoned deployment (paper's <= 80-node-zone guidance)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PlacementEngine,
+    ThresholdPolicy,
+    Zone,
+    ZonedPlacementEngine,
+    classify_network,
+    partition_bfs,
+    partition_by_pod,
+    validate_partition,
+)
+from repro.errors import PlacementError, TopologyError
+from repro.routing import PathEngine, ResponseTimeModel
+from repro.topology import (
+    CapacityModel,
+    LinkUtilizationModel,
+    build_fat_tree,
+    build_line,
+    build_random_connected,
+)
+
+
+class TestPartitioning:
+    def test_pod_partition_covers_fat_tree(self):
+        topo = build_fat_tree(4)
+        zones = partition_by_pod(topo)
+        assert len(zones) == 4  # one per pod
+        validate_partition(topo, zones)
+        # Each zone: 4 pod switches + 1 core (4 cores round-robined).
+        assert sorted(len(z) for z in zones) == [5, 5, 5, 5]
+
+    def test_pod_partition_requires_annotations(self):
+        topo = build_line(5)
+        with pytest.raises(TopologyError):
+            partition_by_pod(topo)
+
+    def test_bfs_partition_respects_budget(self):
+        topo = build_fat_tree(8)  # 80 nodes
+        zones = partition_bfs(topo, max_zone_nodes=20)
+        validate_partition(topo, zones)
+        assert all(len(z) <= 20 for z in zones)
+        assert sum(len(z) for z in zones) == 80
+
+    def test_bfs_partition_deterministic(self):
+        topo = build_random_connected(40, 0.1, seed=2)
+        a = partition_bfs(topo, 10)
+        b = partition_bfs(topo, 10)
+        assert [z.nodes for z in a] == [z.nodes for z in b]
+
+    def test_bfs_budget_validation(self):
+        with pytest.raises(PlacementError):
+            partition_bfs(build_line(3), 0)
+
+    def test_validate_partition_catches_overlap(self):
+        topo = build_line(3)
+        with pytest.raises(PlacementError, match="appears in zones"):
+            validate_partition(topo, [Zone(0, (0, 1)), Zone(1, (1, 2))])
+
+    def test_validate_partition_catches_missing(self):
+        topo = build_line(3)
+        with pytest.raises(PlacementError, match="belong to no zone"):
+            validate_partition(topo, [Zone(0, (0, 1))])
+
+    def test_zone_validation(self):
+        with pytest.raises(PlacementError):
+            Zone(0, ())
+        with pytest.raises(PlacementError):
+            Zone(0, (1, 1))
+
+
+class TestZonedPlacement:
+    def setup_case(self, seed=0):
+        topo = build_fat_tree(4)
+        LinkUtilizationModel(0.2, 0.8, seed=seed).apply(topo)
+        policy = ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
+        caps = CapacityModel(x_min=10.0, seed=seed + 1).sample(topo.num_nodes)
+        roles = classify_network(caps, policy)
+        busy, cands = roles.busy, roles.candidates
+        cs = [policy.excess_load(caps[b]) for b in busy]
+        cd = [policy.spare_capacity(caps[c]) for c in cands]
+        return topo, busy, cands, cs, cd
+
+    def test_zoned_solve_places_load_in_zone(self):
+        topo, busy, cands, cs, cd = self.setup_case(seed=3)
+        if not busy:
+            pytest.skip("no busy nodes in this draw")
+        zones = partition_by_pod(topo)
+        engine = ZonedPlacementEngine(max_hops=7)
+        report = engine.solve(topo, zones, busy, cands, cs, cd, [10.0] * len(busy))
+        # Every assignment stays inside one zone.
+        zone_of = {}
+        for zone in zones:
+            for node in zone.nodes:
+                zone_of[node] = zone.zone_id
+        for a in report.assignments():
+            assert zone_of[a.busy] == zone_of[a.candidate]
+        # Conservation: offloaded + unplaced == excess.
+        assert report.total_offloaded + report.total_unplaced == pytest.approx(
+            sum(cs)
+        )
+
+    def test_zoning_never_beats_global_optimum(self):
+        topo, busy, cands, cs, cd = self.setup_case(seed=5)
+        if not busy:
+            pytest.skip("no busy nodes in this draw")
+        from repro.core import PlacementProblem
+
+        global_report = PlacementEngine(
+            response_model=ResponseTimeModel(engine=PathEngine.DP),
+            with_routes=False,
+        ).solve(
+            PlacementProblem(
+                topology=topo, busy=tuple(busy), candidates=tuple(cands),
+                cs=np.asarray(cs), cd=np.asarray(cd),
+                data_mb=np.full(len(busy), 10.0),
+            )
+        )
+        zoned = ZonedPlacementEngine(
+            engine=PlacementEngine(
+                response_model=ResponseTimeModel(engine=PathEngine.DP),
+                with_routes=False,
+            ),
+            max_hops=None,
+        ).solve(topo, partition_by_pod(topo), busy, cands, cs, cd, [10.0] * len(busy))
+        if global_report.feasible:
+            assert zoned.total_offloaded <= global_report.total_offloaded + 1e-9
+
+    def test_zone_failure_rate_zero_when_all_fit(self):
+        topo = build_fat_tree(4)
+        for link in topo.links:
+            link.utilization = 0.5
+        zones = partition_by_pod(topo)
+        # Busy node 4 (pod 0 agg) with abundant candidates in its own pod.
+        busy, cands = [4], [5, 6, 7]
+        report = ZonedPlacementEngine(max_hops=4).solve(
+            topo, zones, busy, cands, [5.0], [10.0, 10.0, 10.0], [10.0]
+        )
+        assert report.zone_failure_rate_pct == 0.0
+        assert report.total_offloaded == pytest.approx(5.0)
+
+    def test_zone_failure_when_candidates_elsewhere(self):
+        """Busy node whose only candidate lives in another zone."""
+        topo = build_fat_tree(4)
+        for link in topo.links:
+            link.utilization = 0.5
+        zones = partition_by_pod(topo)
+        # Node 4 is pod 0; node 16 is pod 3.
+        report = ZonedPlacementEngine(max_hops=None).solve(
+            topo, zones, [4], [16], [5.0], [10.0], [10.0]
+        )
+        assert report.total_unplaced == pytest.approx(5.0)
+        assert report.zone_failure_rate_pct == pytest.approx(100.0)
+
+    def test_max_zone_seconds_below_total(self):
+        topo, busy, cands, cs, cd = self.setup_case(seed=7)
+        if not busy:
+            pytest.skip("no busy nodes in this draw")
+        report = ZonedPlacementEngine(max_hops=5).solve(
+            topo, partition_by_pod(topo), busy, cands, cs, cd, [10.0] * len(busy)
+        )
+        assert report.max_zone_seconds <= report.total_seconds + 1e-9

@@ -1,0 +1,83 @@
+"""Tests for the branch-and-bound MILP layer."""
+
+import numpy as np
+import pytest
+
+from repro.lp import (
+    LinearProgram,
+    SolveStatus,
+    lp_sum,
+    solve_branch_and_bound,
+    solve_scipy,
+)
+
+
+def knapsack_lp(weights, values, capacity):
+    lp = LinearProgram("knapsack")
+    xs = [lp.add_variable(f"v{i}", upper=1.0, is_integer=True) for i in range(len(weights))]
+    lp.add_constraint(lp_sum(w * x for w, x in zip(weights, xs)) <= capacity)
+    lp.set_objective(lp_sum(-v * x for v, x in zip(values, xs)))
+    return lp
+
+
+def test_knapsack_optimum():
+    lp = knapsack_lp([3, 4, 5, 8, 9], [4, 5, 6, 10, 11], 13)
+    sol = solve_branch_and_bound(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert -sol.objective == pytest.approx(16.0)
+    chosen = {k for k, v in sol.values.items() if v > 0.5}
+    assert chosen == {"v2", "v3"}
+
+
+def test_continuous_program_falls_back_to_lp():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=4.0)
+    lp.set_objective(-x)
+    sol = solve_branch_and_bound(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol["x"] == pytest.approx(4.0)
+    assert sol.backend == "branch-and-bound"
+
+
+def test_integer_values_are_integral():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=10.0, is_integer=True)
+    y = lp.add_variable("y", upper=10.0)
+    lp.add_constraint(2 * x + y <= 7.5)
+    lp.set_objective(-(x + 0.1 * y))
+    sol = solve_branch_and_bound(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol["x"] == pytest.approx(round(sol["x"]))
+
+
+def test_infeasible_milp():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=5.0, is_integer=True)
+    lp.add_constraint(x >= 6)
+    lp.set_objective(x)
+    assert solve_branch_and_bound(lp).status is SolveStatus.INFEASIBLE
+
+
+def test_fractional_only_feasible_region_forces_branching():
+    """x in [0.4, 0.6] has no integer point: must come back infeasible."""
+    lp = LinearProgram()
+    x = lp.add_variable("x", is_integer=True)
+    lp.add_constraint(x >= 0.4)
+    lp.add_constraint(x <= 0.6)
+    lp.set_objective(x)
+    assert solve_branch_and_bound(lp).status is SolveStatus.INFEASIBLE
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_matches_scipy_milp_on_random_knapsacks(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 8))
+    weights = rng.integers(1, 10, n).tolist()
+    values = rng.integers(1, 12, n).tolist()
+    capacity = int(max(1, sum(weights) * 0.4))
+    lp = knapsack_lp(weights, values, capacity)
+    own = solve_branch_and_bound(lp)
+    ref = solve_scipy(lp)  # dispatches to scipy.optimize.milp
+    assert own.status == ref.status
+    if ref.status is SolveStatus.OPTIMAL:
+        assert own.objective == pytest.approx(ref.objective, abs=1e-6)

@@ -1,0 +1,69 @@
+"""Tests for backend dispatch and the Solution container."""
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.lp import (
+    LinearProgram,
+    Solution,
+    SolveStatus,
+    available_backends,
+    solve,
+)
+
+
+def small_lp():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=3.0)
+    lp.set_objective(-x)
+    return lp
+
+
+def test_auto_picks_scipy_for_continuous():
+    sol = solve(small_lp(), "auto")
+    assert sol.backend == "scipy"
+    assert sol.objective == pytest.approx(-3.0)
+
+
+def test_auto_picks_bnb_for_integer():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=3.0, is_integer=True)
+    lp.set_objective(-x)
+    sol = solve(lp, "auto")
+    assert sol.backend == "branch-and-bound"
+
+
+def test_explicit_backends_agree():
+    results = {b: solve(small_lp(), b) for b in ("simplex", "scipy")}
+    objectives = {b: r.objective for b, r in results.items()}
+    assert objectives["simplex"] == pytest.approx(objectives["scipy"])
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(SolverError, match="unknown LP backend"):
+        solve(small_lp(), "gurobi")
+
+
+def test_available_backends_lists_auto():
+    names = available_backends()
+    assert "auto" in names
+    assert "simplex" in names
+
+
+class TestSolution:
+    def test_getitem_and_value(self):
+        sol = Solution(status=SolveStatus.OPTIMAL, objective=1.0, values={"x": 2.0})
+        assert sol["x"] == 2.0
+        assert sol.value("x") == 2.0
+        assert sol.value("missing", default=7.0) == 7.0
+
+    def test_default_objective_is_nan(self):
+        sol = Solution(status=SolveStatus.INFEASIBLE)
+        assert math.isnan(sol.objective)
+
+    def test_status_is_optimal_property(self):
+        assert SolveStatus.OPTIMAL.is_optimal
+        assert not SolveStatus.INFEASIBLE.is_optimal
+        assert not SolveStatus.UNBOUNDED.is_optimal

@@ -1,0 +1,159 @@
+"""Tests for the from-scratch two-phase simplex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import LinearProgram, SolveStatus, lp_sum, solve_scipy, solve_simplex
+
+
+def test_basic_maximization_via_negation():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    y = lp.add_variable("y")
+    lp.add_constraint(x + 2 * y <= 14)
+    lp.add_constraint(3 * x - y >= 0)
+    lp.add_constraint(x - y <= 2)
+    lp.set_objective(-(3 * x + 4 * y))
+    sol = solve_simplex(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(-34.0)
+    assert sol["x"] == pytest.approx(6.0)
+    assert sol["y"] == pytest.approx(4.0)
+
+
+def test_equality_constraints():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    y = lp.add_variable("y")
+    lp.add_constraint(x + y == 10)
+    lp.set_objective(2 * x + y)
+    sol = solve_simplex(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    # Minimize 2x + y with x + y = 10: push everything to y.
+    assert sol.objective == pytest.approx(10.0)
+    assert sol["y"] == pytest.approx(10.0)
+
+
+def test_infeasible_detected():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=1.0)
+    lp.add_constraint(x >= 2)
+    lp.set_objective(x)
+    assert solve_simplex(lp).status is SolveStatus.INFEASIBLE
+
+
+def test_unbounded_detected():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    lp.set_objective(-x)  # minimize -x with x unbounded above
+    assert solve_simplex(lp).status is SolveStatus.UNBOUNDED
+
+
+def test_nonzero_lower_bounds_shift():
+    lp = LinearProgram()
+    x = lp.add_variable("x", lower=5.0)
+    y = lp.add_variable("y", lower=2.0, upper=8.0)
+    lp.add_constraint(x + y <= 20)
+    lp.set_objective(x - y)
+    sol = solve_simplex(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol["x"] == pytest.approx(5.0)
+    assert sol["y"] == pytest.approx(8.0)
+
+
+def test_objective_constant_carried_through():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=3.0)
+    lp.set_objective(x + 100)
+    sol = solve_simplex(lp)
+    assert sol.objective == pytest.approx(100.0)
+
+
+def test_empty_program_is_trivially_optimal():
+    lp = LinearProgram()
+    lp.set_objective(5)
+    sol = solve_simplex(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(5.0)
+
+
+def test_degenerate_redundant_constraints():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    lp.add_constraint(x <= 4)
+    lp.add_constraint(x <= 4)
+    lp.add_constraint(2 * x <= 8)
+    lp.set_objective(-x)
+    sol = solve_simplex(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol["x"] == pytest.approx(4.0)
+
+
+def test_solution_values_satisfy_constraints():
+    lp = LinearProgram()
+    xs = [lp.add_variable(f"x{i}") for i in range(4)]
+    lp.add_constraint(lp_sum(xs) == 10)
+    lp.add_constraint(xs[0] + 2 * xs[1] <= 8)
+    lp.add_constraint(xs[2] - xs[3] >= -2)
+    lp.set_objective(lp_sum((i + 1) * x for i, x in enumerate(xs)))
+    sol = solve_simplex(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert lp.is_feasible(dict(sol.values), tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_matches_scipy_on_random_transportation(m, n, seed):
+    """The from-scratch simplex agrees with HiGHS on random feasible
+    transportation LPs (the placement program's structure)."""
+    rng = np.random.default_rng(seed)
+    supply = rng.uniform(0.0, 10.0, m)
+    demand = rng.uniform(0.0, 10.0, n)
+    if supply.sum() > demand.sum():
+        supply *= 0.9 * demand.sum() / supply.sum()
+    cost = rng.uniform(1.0, 10.0, (m, n))
+    lp = LinearProgram()
+    xs = [[lp.add_variable(f"x_{i}_{j}") for j in range(n)] for i in range(m)]
+    for i in range(m):
+        lp.add_constraint(lp_sum(xs[i]) == float(supply[i]))
+    for j in range(n):
+        lp.add_constraint(lp_sum(xs[i][j] for i in range(m)) <= float(demand[j]))
+    lp.set_objective(lp_sum(cost[i, j] * xs[i][j] for i in range(m) for j in range(n)))
+    own = solve_simplex(lp)
+    ref = solve_scipy(lp)
+    assert own.status == ref.status
+    if ref.status is SolveStatus.OPTIMAL:
+        assert own.objective == pytest.approx(ref.objective, abs=1e-6)
+        assert lp.is_feasible(dict(own.values), tol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_random_general_lps_match_scipy(seed):
+    """Random small general LPs: statuses and optima agree with HiGHS."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 5))
+    m = int(rng.integers(1, 6))
+    lp = LinearProgram()
+    xs = [lp.add_variable(f"x{i}", upper=float(rng.uniform(1, 20))) for i in range(n)]
+    for _ in range(m):
+        coefs = rng.uniform(-2.0, 3.0, n)
+        rhs = float(rng.uniform(0.0, 20.0))
+        sense = rng.choice(["<=", ">=", "=="])
+        expr = lp_sum(float(c) * x for c, x in zip(coefs, xs))
+        if sense == "<=":
+            lp.add_constraint(expr <= rhs)
+        elif sense == ">=":
+            lp.add_constraint(expr >= rhs)
+        else:
+            lp.add_constraint(expr == rhs)
+    lp.set_objective(lp_sum(float(c) * x for c, x in zip(rng.uniform(-1, 1, n), xs)))
+    own = solve_simplex(lp)
+    ref = solve_scipy(lp)
+    # Bounded variables: unboundedness impossible, only OPTIMAL/INFEASIBLE.
+    assert own.status == ref.status
+    if ref.status is SolveStatus.OPTIMAL:
+        assert own.objective == pytest.approx(ref.objective, abs=1e-5)

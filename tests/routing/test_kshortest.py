@@ -1,0 +1,96 @@
+"""Tests for Yen's k-shortest hop-bounded paths."""
+
+from itertools import islice
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import k_shortest_paths, path_cost
+from repro.topology import build_fat_tree, build_random_connected, build_ring
+
+
+def ring_with_weights(n=6):
+    topo = build_ring(n)
+    w = np.ones(topo.num_edges)
+    return topo, w
+
+
+class TestBasics:
+    def test_ring_two_paths(self):
+        topo, w = ring_with_weights(6)
+        paths = k_shortest_paths(topo, 0, 3, w, k=5)
+        assert len(paths) == 2  # only two simple paths exist
+        assert path_cost(paths[0], w) <= path_cost(paths[1], w)
+
+    def test_costs_nondecreasing(self):
+        topo = build_fat_tree(4)
+        rng = np.random.default_rng(0)
+        w = rng.uniform(0.1, 1.0, topo.num_edges)
+        paths = k_shortest_paths(topo, 8, 19, w, k=8)
+        costs = [path_cost(p, w) for p in paths]
+        assert costs == sorted(costs)
+        assert len(paths) == 8
+
+    def test_paths_distinct_and_valid(self):
+        topo = build_fat_tree(4)
+        w = np.ones(topo.num_edges)
+        paths = k_shortest_paths(topo, 8, 19, w, k=10)
+        nodes_seen = {p.nodes for p in paths}
+        assert len(nodes_seen) == len(paths)
+        for p in paths:
+            assert p.source == 8 and p.destination == 19
+            for (u, v), e in zip(zip(p.nodes, p.nodes[1:]), p.edges):
+                assert topo.edge_id(u, v) == e
+
+    def test_hop_budget_respected(self):
+        topo = build_fat_tree(4)
+        w = np.ones(topo.num_edges)
+        paths = k_shortest_paths(topo, 8, 19, w, k=20, max_hops=4)
+        assert paths
+        assert all(p.num_hops <= 4 for p in paths)
+
+    def test_source_equals_destination(self):
+        topo, w = ring_with_weights()
+        paths = k_shortest_paths(topo, 2, 2, w, k=3)
+        assert len(paths) == 1
+        assert paths[0].num_hops == 0
+
+    def test_disconnected_returns_empty(self):
+        from repro.topology import Topology
+
+        topo = Topology()
+        a, b = topo.add_node(), topo.add_node()
+        assert k_shortest_paths(topo, a, b, np.zeros(0), k=3) == []
+
+    def test_invalid_k(self):
+        topo, w = ring_with_weights()
+        with pytest.raises(RoutingError):
+            k_shortest_paths(topo, 0, 1, w, k=0)
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=5, max_value=12),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_property_matches_shortest_simple_paths(self, n, seed, k):
+        topo = build_random_connected(n, 0.3, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        w = rng.uniform(0.1, 2.0, topo.num_edges)
+        g = topo.to_networkx()
+        for (u, v), weight in zip(topo.edges, w):
+            g[u][v]["weight"] = float(weight)
+        ours = k_shortest_paths(topo, 0, n - 1, w, k=k)
+        ref = list(islice(nx.shortest_simple_paths(g, 0, n - 1, weight="weight"), k))
+        assert len(ours) == len(ref)
+        ours_costs = [round(path_cost(p, w), 9) for p in ours]
+        ref_costs = [
+            round(sum(g[a][b]["weight"] for a, b in zip(p, p[1:])), 9) for p in ref
+        ]
+        assert ours_costs == ref_costs

@@ -1,0 +1,119 @@
+"""Tests for runtime route maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import RouteMaintainer
+from repro.topology import Link, Topology, build_fat_tree
+
+
+def diamond():
+    """0 -> 3 via 1 (primary, cheap) or via 2 (alternative)."""
+    topo = Topology()
+    n0, n1, n2, n3 = (topo.add_node() for _ in range(4))
+    topo.add_edge(n0, n1, Link(capacity_mbps=10_000.0, utilization=0.1))
+    topo.add_edge(n1, n3, Link(capacity_mbps=10_000.0, utilization=0.1))
+    topo.add_edge(n0, n2, Link(capacity_mbps=10_000.0, utilization=0.3))
+    topo.add_edge(n2, n3, Link(capacity_mbps=10_000.0, utilization=0.3))
+    return topo
+
+
+class TestRegistration:
+    def test_register_picks_cheapest(self):
+        topo = diamond()
+        maintainer = RouteMaintainer(topo)
+        route = maintainer.register_flow("f", 0, 3)
+        assert route.active.nodes == (0, 1, 3)
+        assert len(route.alternatives) >= 2
+
+    def test_duplicate_flow_rejected(self):
+        topo = diamond()
+        maintainer = RouteMaintainer(topo)
+        maintainer.register_flow("f", 0, 3)
+        with pytest.raises(RoutingError, match="already registered"):
+            maintainer.register_flow("f", 0, 3)
+
+    def test_unreachable_rejected(self):
+        topo = Topology()
+        a, b = topo.add_node(), topo.add_node()
+        with pytest.raises(RoutingError, match="no route"):
+            RouteMaintainer(topo).register_flow("f", a, b)
+
+    def test_withdraw(self):
+        topo = diamond()
+        maintainer = RouteMaintainer(topo)
+        maintainer.register_flow("f", 0, 3)
+        maintainer.withdraw_flow("f")
+        assert maintainer.flows == ()
+        with pytest.raises(RoutingError):
+            maintainer.withdraw_flow("f")
+
+    def test_parameter_validation(self):
+        topo = diamond()
+        with pytest.raises(RoutingError):
+            RouteMaintainer(topo, k_alternatives=0)
+        with pytest.raises(RoutingError):
+            RouteMaintainer(topo, congestion_threshold=0.0)
+        with pytest.raises(RoutingError):
+            RouteMaintainer(topo, improvement_factor=0.9)
+
+
+class TestRerouting:
+    def test_congestion_triggers_switch(self):
+        topo = diamond()
+        maintainer = RouteMaintainer(topo, congestion_threshold=0.9)
+        maintainer.register_flow("f", 0, 3)
+        assert maintainer.check() == []  # healthy: silent
+        # Congest the primary's first hop.
+        topo.link_between(0, 1).utilization = 0.95
+        decisions = maintainer.check()
+        assert len(decisions) == 1
+        assert decisions[0].rerouted
+        assert maintainer.flow("f").active.nodes == (0, 2, 3)
+        assert maintainer.flow("f").switches == 1
+
+    def test_no_healthy_alternative_reported(self):
+        topo = diamond()
+        maintainer = RouteMaintainer(topo, congestion_threshold=0.9)
+        maintainer.register_flow("f", 0, 3)
+        for link in topo.links:
+            link.utilization = 0.95
+        decisions = maintainer.check()
+        assert len(decisions) == 1
+        assert not decisions[0].rerouted
+        assert decisions[0].reason == "no healthy alternative"
+        assert maintainer.flow("f").switches == 0
+
+    def test_stable_after_switch(self):
+        topo = diamond()
+        maintainer = RouteMaintainer(topo, congestion_threshold=0.9)
+        maintainer.register_flow("f", 0, 3)
+        topo.link_between(0, 1).utilization = 0.95
+        maintainer.check()
+        # Second check: new active route is healthy, nothing happens.
+        assert maintainer.check() == []
+        assert maintainer.flow("f").switches == 1
+
+    def test_multiple_flows_independent(self):
+        topo = build_fat_tree(4)
+        for link in topo.links:
+            link.utilization = 0.2
+        maintainer = RouteMaintainer(topo, congestion_threshold=0.9)
+        maintainer.register_flow("a", 8, 19, max_hops=6)
+        maintainer.register_flow("b", 9, 18, max_hops=6)
+        flow_a = maintainer.flow("a")
+        # Congest every edge of flow a's active path only.
+        for e in flow_a.active.edges:
+            topo.link(e).utilization = 0.95
+        decisions = maintainer.check()
+        touched = {d.flow_id for d in decisions}
+        assert "a" in touched
+
+    def test_hop_budget_respected_in_alternatives(self):
+        topo = build_fat_tree(4)
+        for link in topo.links:
+            link.utilization = 0.2
+        maintainer = RouteMaintainer(topo, k_alternatives=6)
+        route = maintainer.register_flow("f", 8, 19, max_hops=4)
+        assert all(p.num_hops <= 4 for p in route.alternatives)

@@ -1,0 +1,126 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda e: fired.append("c"))
+        engine.schedule_at(1.0, lambda e: fired.append("a"))
+        engine.schedule_at(2.0, lambda e: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for tag in "abc":
+            engine.schedule_at(5.0, lambda e, t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_after_is_relative(self):
+        engine = SimulationEngine(start_time=10.0)
+        times = []
+        engine.schedule_after(2.5, lambda e: times.append(e.now))
+        engine.run()
+        assert times == [12.5]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine(start_time=5.0)
+        with pytest.raises(SimulationError, match="before now"):
+            engine.schedule_at(4.0, lambda e: None)
+        with pytest.raises(SimulationError, match="negative delay"):
+            engine.schedule_after(-1.0, lambda e: None)
+
+    def test_cancel_skips_event(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda e: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_handlers_can_schedule_followups(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first(e):
+            fired.append(e.now)
+            e.schedule_after(1.0, lambda e2: fired.append(e2.now))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestRunUntil:
+    def test_clock_advances_to_end(self):
+        engine = SimulationEngine()
+        engine.run_until(100.0)
+        assert engine.now == 100.0
+
+    def test_future_events_stay_queued(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(50.0, lambda e: fired.append(1))
+        engine.schedule_at(150.0, lambda e: fired.append(2))
+        engine.run_until(100.0)
+        assert fired == [1]
+        assert engine.pending_events == 1
+        engine.run_until(200.0)
+        assert fired == [1, 2]
+
+    def test_backwards_run_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_max_events_stops_early(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            engine.schedule_at(float(t), lambda e: None)
+        processed = engine.run_until(100.0, max_events=4)
+        assert processed == 4
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda e: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(10.0, lambda e: ticks.append(e.now))
+        engine.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_first_delay_override(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(10.0, lambda e: ticks.append(e.now), first_delay=0.0)
+        engine.run_until(25.0)
+        assert ticks == [0.0, 10.0, 20.0]
+
+    def test_condition_stops_chain(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(
+            5.0, lambda e: ticks.append(e.now), condition=lambda: len(ticks) < 3
+        )
+        engine.run_until(100.0)
+        assert len(ticks) == 3
+
+    def test_invalid_period(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_periodic(0.0, lambda e: None)

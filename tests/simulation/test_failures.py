@@ -1,0 +1,111 @@
+"""Tests for the failure injector."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import FailureEvent, FailureInjector, SimulationEngine
+
+
+class FakeClient:
+    def __init__(self):
+        self.alive = True
+        self.transitions = []
+
+    def fail(self):
+        self.alive = False
+        self.transitions.append("crash")
+
+    def recover(self):
+        self.alive = True
+        self.transitions.append("recover")
+
+
+def test_explicit_schedule_applies_in_order():
+    engine = SimulationEngine()
+    client = FakeClient()
+    injector = FailureInjector(engine, {1: client})
+    injector.schedule([
+        FailureEvent(time=10.0, node_id=1, kind="crash"),
+        FailureEvent(time=20.0, node_id=1, kind="recover"),
+        FailureEvent(time=30.0, node_id=1, kind="crash"),
+    ])
+    engine.run_until(25.0)
+    assert client.transitions == ["crash", "recover"]
+    assert client.alive
+    engine.run_until(35.0)
+    assert client.transitions == ["crash", "recover", "crash"]
+    assert not client.alive
+
+
+def test_redundant_transitions_skipped():
+    engine = SimulationEngine()
+    client = FakeClient()
+    injector = FailureInjector(engine, {1: client})
+    injector.schedule([
+        FailureEvent(time=1.0, node_id=1, kind="recover"),  # already up
+        FailureEvent(time=2.0, node_id=1, kind="crash"),
+        FailureEvent(time=3.0, node_id=1, kind="crash"),  # already down
+    ])
+    engine.run_until(10.0)
+    assert client.transitions == ["crash"]
+    assert len(injector.applied) == 1
+
+
+def test_unknown_node_rejected():
+    engine = SimulationEngine()
+    injector = FailureInjector(engine, {1: FakeClient()})
+    with pytest.raises(SimulationError, match="no client"):
+        injector.schedule([FailureEvent(time=1.0, node_id=9, kind="crash")])
+
+
+def test_event_validation():
+    with pytest.raises(SimulationError):
+        FailureEvent(time=1.0, node_id=1, kind="explode")
+    with pytest.raises(SimulationError):
+        FailureEvent(time=-1.0, node_id=1, kind="crash")
+
+
+class TestExponentialProcess:
+    def test_events_alternate_and_stay_in_horizon(self):
+        engine = SimulationEngine()
+        clients = {i: FakeClient() for i in range(3)}
+        injector = FailureInjector(engine, clients)
+        events = injector.schedule_exponential(
+            horizon_s=10_000.0, mtbf_s=500.0, mttr_s=100.0, seed=0
+        )
+        assert events, "expected some failures over 20 MTBFs"
+        assert all(e.time < 10_000.0 for e in events)
+        # Per node, kinds alternate crash/recover starting with crash.
+        for node in clients:
+            kinds = [e.kind for e in events if e.node_id == node]
+            expected = ["crash", "recover"] * (len(kinds) // 2 + 1)
+            assert kinds == expected[: len(kinds)]
+
+    def test_deterministic_for_seed(self):
+        def gen():
+            engine = SimulationEngine()
+            injector = FailureInjector(engine, {0: FakeClient()})
+            return injector.schedule_exponential(1000.0, 100.0, 20.0, seed=7)
+
+        assert gen() == gen()
+
+    def test_state_machine_consistency_when_run(self):
+        engine = SimulationEngine()
+        clients = {i: FakeClient() for i in range(4)}
+        injector = FailureInjector(engine, clients)
+        injector.schedule_exponential(5000.0, 300.0, 50.0, seed=3)
+        engine.run_until(5000.0)
+        for client in clients.values():
+            # Transitions strictly alternate.
+            for a, b in zip(client.transitions, client.transitions[1:]):
+                assert a != b
+
+    def test_parameter_validation(self):
+        engine = SimulationEngine()
+        injector = FailureInjector(engine, {0: FakeClient()})
+        with pytest.raises(SimulationError):
+            injector.schedule_exponential(0.0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            injector.schedule_exponential(1.0, 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            injector.schedule_exponential(10.0, 1.0, 1.0, nodes=[99])

@@ -1,0 +1,151 @@
+"""Tests for the message network, traffic matrix and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    GravityTrafficMatrix,
+    MessageNetwork,
+    SimulationEngine,
+    rng_from,
+    spawn_seeds,
+)
+from repro.topology import Link, Topology, build_fat_tree, build_line
+
+
+def line_network(n=3, latency_ms=1.0):
+    topo = Topology()
+    nodes = [topo.add_node() for _ in range(n)]
+    for i in range(n - 1):
+        topo.add_edge(nodes[i], nodes[i + 1], Link(latency_ms=latency_ms))
+    engine = SimulationEngine()
+    return topo, engine, MessageNetwork(topo, engine)
+
+
+class TestMessageNetwork:
+    def test_delivery_with_latency(self):
+        topo, engine, net = line_network(3, latency_ms=1.0)
+        received = []
+        net.register(2, lambda m: received.append(m))
+        net.register(0, lambda m: None)
+        net.send(0, 2, payload="hello")
+        engine.run()
+        assert len(received) == 1
+        msg = received[0]
+        assert msg.payload == "hello"
+        # Two hops x 1 ms = 2 ms.
+        assert msg.latency == pytest.approx(0.002)
+        assert msg.source == 0 and msg.destination == 2
+
+    def test_send_to_unregistered_drops_silently(self):
+        """Dead endpoints lose packets like a real network."""
+        _, _, net = line_network()
+        net.send(0, 2, payload="x")
+        assert net.messages_dropped == 1
+        assert net.messages_sent == 0
+
+    def test_send_to_nonexistent_node_raises(self):
+        _, _, net = line_network()
+        with pytest.raises(Exception):
+            net.send(0, 99, payload="x")
+
+    def test_duplicate_registration_rejected(self):
+        _, _, net = line_network()
+        net.register(0, lambda m: None)
+        with pytest.raises(SimulationError, match="already has"):
+            net.register(0, lambda m: None)
+
+    def test_unregister_mid_flight_drops_silently(self):
+        topo, engine, net = line_network()
+        received = []
+        net.register(2, lambda m: received.append(m))
+        net.send(0, 2, payload="x")
+        net.unregister(2)
+        engine.run()
+        assert received == []
+        assert net.messages_sent == 1
+        assert net.messages_delivered == 0
+
+    def test_latency_uses_min_latency_path(self):
+        topo = Topology()
+        a, b, c = topo.add_node(), topo.add_node(), topo.add_node()
+        topo.add_edge(a, c, Link(latency_ms=10.0))  # slow direct
+        topo.add_edge(a, b, Link(latency_ms=1.0))
+        topo.add_edge(b, c, Link(latency_ms=1.0))
+        engine = SimulationEngine()
+        net = MessageNetwork(topo, engine)
+        assert net.latency_between(a, c) == pytest.approx(0.002)
+
+    def test_disconnected_raises(self):
+        topo = Topology()
+        a, b = topo.add_node(), topo.add_node()
+        net = MessageNetwork(topo, SimulationEngine())
+        with pytest.raises(SimulationError, match="disconnected"):
+            net.latency_between(a, b)
+
+    def test_broadcast_skips_sender(self):
+        topo, engine, net = line_network(3)
+        hits = []
+        for node in range(3):
+            net.register(node, lambda m, n=node: hits.append(n))
+        count = net.broadcast(1, payload="b")
+        engine.run()
+        assert count == 2
+        assert sorted(hits) == [0, 2]
+
+
+class TestGravityTraffic:
+    def test_apply_sets_utilizations(self):
+        topo = build_fat_tree(4)
+        traffic = GravityTrafficMatrix(total_demand_mbps=200_000.0, seed=0)
+        carried = traffic.apply(topo)
+        assert carried.shape == (topo.num_edges,)
+        utils = np.array([l.utilization for l in topo.links])
+        assert (utils >= 0).all() and (utils <= 0.95).all()
+        assert utils.max() > 0  # something was routed
+
+    def test_demands_exclude_self_pairs(self):
+        traffic = GravityTrafficMatrix(total_demand_mbps=100.0, seed=1)
+        demands = traffic.sample_demands(5, 200)
+        assert all(s != d for s, d, _ in demands)
+
+    def test_total_demand_preserved(self):
+        traffic = GravityTrafficMatrix(total_demand_mbps=1000.0, seed=2)
+        demands = traffic.sample_demands(10, 50)
+        assert sum(v for _, _, v in demands) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            GravityTrafficMatrix(total_demand_mbps=-1.0)
+        with pytest.raises(SimulationError):
+            GravityTrafficMatrix(total_demand_mbps=1.0, max_util=0.0)
+        with pytest.raises(SimulationError):
+            GravityTrafficMatrix(total_demand_mbps=1.0).sample_demands(1, 10)
+
+    def test_line_topology_middle_edge_busiest(self):
+        topo = build_line(5)
+        traffic = GravityTrafficMatrix(total_demand_mbps=10_000.0, seed=3)
+        carried = traffic.apply(topo, num_pairs=200)
+        # Middle edges carry strictly more than the average end edge.
+        assert carried[1:3].mean() >= carried[[0, 3]].mean()
+
+
+class TestSeedHelpers:
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_spawn_count_validation(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_rng_from_streams_differ(self):
+        a = rng_from(7, 0).random(4)
+        b = rng_from(7, 1).random(4)
+        assert not np.allclose(a, b)
+        c = rng_from(7, 0).random(4)
+        np.testing.assert_array_equal(a, c)

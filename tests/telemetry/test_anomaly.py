@@ -1,0 +1,125 @@
+"""Tests for the streaming anomaly detectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    EwmaDetector,
+    RateOfChangeDetector,
+    TimeSeriesDatabase,
+    scan_series,
+)
+
+
+class TestEwmaDetector:
+    def test_spike_flagged_after_warmup(self):
+        detector = EwmaDetector(alpha=0.1, threshold=4.0, warmup=20)
+        rng = np.random.default_rng(0)
+        false_positives = sum(
+            detector.is_anomalous(float(rng.normal(10.0, 1.0))) for _ in range(50)
+        )
+        assert false_positives <= 2  # steady stream stays mostly quiet
+        assert detector.is_anomalous(100.0)  # 90-sigma spike flags
+
+    def test_warmup_suppresses_scores(self):
+        detector = EwmaDetector(warmup=5)
+        scores = [detector.update(v) for v in (0.0, 100.0, -100.0, 50.0, 0.0)]
+        assert scores == [0.0] * 5
+
+    def test_stats_track_stream(self):
+        detector = EwmaDetector(alpha=0.5, warmup=0)
+        for v in (10.0, 10.0, 10.0):
+            detector.update(v)
+        assert detector.mean == pytest.approx(10.0)
+        assert detector.std == pytest.approx(0.0, abs=1e-9)
+        assert detector.samples_seen == 3
+
+    def test_score_uses_pre_update_stats(self):
+        """The outlier scores against history, not against itself."""
+        detector = EwmaDetector(alpha=0.3, threshold=3.0, warmup=0)
+        for v in (10.0, 10.5, 9.5, 10.2, 9.8, 10.0):
+            detector.update(v)
+        score = detector.update(50.0)
+        assert score > 3.0
+
+    def test_adapts_to_level_shift(self):
+        """After enough samples at a new level the detector re-baselines."""
+        detector = EwmaDetector(alpha=0.3, threshold=3.0, warmup=3)
+        for _ in range(20):
+            detector.update(10.0)
+        detector.update(50.0)  # the shift itself is anomalous
+        for _ in range(40):
+            detector.update(50.0)
+        assert detector.update(50.0) < 1.0  # new normal
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(TelemetryError):
+            EwmaDetector(alpha=1.5)
+        with pytest.raises(TelemetryError):
+            EwmaDetector(threshold=0.0)
+        with pytest.raises(TelemetryError):
+            EwmaDetector(warmup=-1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_property_steady_stream_rarely_flags(self, seed):
+        """False-positive sanity: an i.i.d. normal stream at 3 sigma
+        flags well under 5% of samples after warmup."""
+        rng = np.random.default_rng(seed)
+        detector = EwmaDetector(alpha=0.05, threshold=3.5, warmup=20)
+        flags = sum(
+            detector.is_anomalous(float(v)) for v in rng.normal(0, 1, 300)
+        )
+        assert flags <= 15
+
+
+class TestRateOfChangeDetector:
+    def test_first_sample_never_flags(self):
+        detector = RateOfChangeDetector(max_rate_per_s=10.0)
+        assert detector.update(0.0, 5.0) == 0.0
+
+    def test_fast_ramp_flagged(self):
+        detector = RateOfChangeDetector(max_rate_per_s=10.0)
+        detector.update(0.0, 0.0)
+        assert detector.is_anomalous(1.0, 100.0)  # 100/s >> 10/s
+
+    def test_slow_ramp_passes(self):
+        detector = RateOfChangeDetector(max_rate_per_s=10.0)
+        detector.update(0.0, 0.0)
+        assert not detector.is_anomalous(1.0, 5.0)
+
+    def test_zero_dt_ignored(self):
+        detector = RateOfChangeDetector(max_rate_per_s=1.0)
+        detector.update(1.0, 0.0)
+        assert detector.update(1.0, 99.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            RateOfChangeDetector(max_rate_per_s=0.0)
+
+
+class TestScanSeries:
+    def test_scan_finds_injected_spikes(self):
+        tsdb = TimeSeriesDatabase()
+        rng = np.random.default_rng(1)
+        spike_times = {40.0, 80.0}
+        for t in range(120):
+            value = 100.0 if float(t) in spike_times else float(rng.normal(10, 1))
+            tsdb.append("fault_score", float(t), value)
+        events = scan_series(
+            tsdb, "fault_score", EwmaDetector(alpha=0.1, threshold=4.0, warmup=10)
+        )
+        found = {e.timestamp for e in events}
+        assert spike_times <= found
+        # Not everything is an anomaly.
+        assert len(events) < 15
+
+    def test_scan_empty_series(self):
+        tsdb = TimeSeriesDatabase()
+        tsdb.create_series("m")
+        assert scan_series(tsdb, "m") == []

@@ -1,0 +1,145 @@
+"""Tests for the subscription state database."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import StateDatabase
+
+
+@pytest.fixture
+def db():
+    database = StateDatabase("test")
+    database.create_table("interfaces")
+    return database
+
+
+class TestSchema:
+    def test_create_and_list(self, db):
+        db.create_table("routes")
+        assert set(db.tables) == {"interfaces", "routes"}
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(TelemetryError, match="already exists"):
+            db.create_table("interfaces")
+
+    def test_ensure_table_idempotent(self, db):
+        db.ensure_table("interfaces")
+        db.ensure_table("new")
+        assert "new" in db.tables
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(TelemetryError, match="unknown table"):
+            db.rows("nope")
+
+
+class TestWrites:
+    def test_upsert_and_get(self, db):
+        db.upsert("interfaces", "eth0", {"speed": 10_000})
+        assert db.get("interfaces", "eth0") == {"speed": 10_000}
+        assert db.get("interfaces", "eth1") is None
+
+    def test_upsert_replaces(self, db):
+        db.upsert("interfaces", "eth0", {"speed": 10})
+        db.upsert("interfaces", "eth0", {"speed": 25})
+        assert db.get("interfaces", "eth0") == {"speed": 25}
+        assert db.row_count("interfaces") == 1
+
+    def test_update_fields_merges(self, db):
+        db.upsert("interfaces", "eth0", {"speed": 10, "mtu": 1500})
+        db.update_fields("interfaces", "eth0", mtu=9000)
+        assert db.get("interfaces", "eth0") == {"speed": 10, "mtu": 9000}
+
+    def test_update_fields_missing_row(self, db):
+        with pytest.raises(TelemetryError, match="not found"):
+            db.update_fields("interfaces", "eth9", mtu=9000)
+
+    def test_bulk_upsert(self, db):
+        count = db.bulk_upsert(
+            "interfaces", ((f"eth{i}", {"idx": i}) for i in range(5))
+        )
+        assert count == 5
+        assert db.row_count("interfaces") == 5
+
+    def test_rows_returns_copy(self, db):
+        db.upsert("interfaces", "eth0", {"speed": 10})
+        rows = db.rows("interfaces")
+        rows.clear()
+        assert db.row_count("interfaces") == 1
+
+
+class TestSubscriptions:
+    def test_subscriber_called_per_write(self, db):
+        seen = []
+        db.subscribe("interfaces", lambda t, k, r: seen.append((t, k, dict(r))))
+        db.upsert("interfaces", "eth0", {"v": 1})
+        db.upsert("interfaces", "eth0", {"v": 2})
+        assert seen == [("interfaces", "eth0", {"v": 1}), ("interfaces", "eth0", {"v": 2})]
+
+    def test_unsubscribe_stops_delivery(self, db):
+        seen = []
+        cb = lambda t, k, r: seen.append(k)  # noqa: E731
+        db.subscribe("interfaces", cb)
+        db.upsert("interfaces", "a", {})
+        db.unsubscribe("interfaces", cb)
+        db.upsert("interfaces", "b", {})
+        assert seen == ["a"]
+
+    def test_unsubscribe_unknown_is_noop(self, db):
+        db.unsubscribe("interfaces", lambda t, k, r: None)
+
+    def test_reentrant_write_rejected(self, db):
+        def evil(table, key, row):
+            db.upsert("interfaces", "other", {})
+
+        db.subscribe("interfaces", evil)
+        with pytest.raises(TelemetryError, match="re-entrant"):
+            db.upsert("interfaces", "x", {})
+
+    def test_subscriber_count(self, db):
+        assert db.subscriber_count("interfaces") == 0
+        db.subscribe("interfaces", lambda t, k, r: None)
+        assert db.subscriber_count("interfaces") == 1
+
+
+class TestBulkNotifications:
+    def test_bulk_counts_reach_bulk_subscribers(self, db):
+        counts = []
+        db.subscribe_bulk("interfaces", lambda t, c: counts.append(c))
+        db.record_synthetic_updates("interfaces", 500)
+        db.record_synthetic_updates("interfaces", 250)
+        assert counts == [500, 250]
+
+    def test_bulk_updates_counted_in_stats(self, db):
+        db.record_synthetic_updates("interfaces", 100)
+        db.upsert("interfaces", "eth0", {})
+        stats = db.stats("interfaces")
+        assert stats.updates_total == 101
+
+    def test_zero_count_is_noop(self, db):
+        hits = []
+        db.subscribe_bulk("interfaces", lambda t, c: hits.append(c))
+        db.record_synthetic_updates("interfaces", 0)
+        assert hits == []
+
+    def test_negative_count_rejected(self, db):
+        with pytest.raises(TelemetryError, match="non-negative"):
+            db.record_synthetic_updates("interfaces", -1)
+
+    def test_unsubscribe_bulk(self, db):
+        hits = []
+        cb = lambda t, c: hits.append(c)  # noqa: E731
+        db.subscribe_bulk("interfaces", cb)
+        db.unsubscribe_bulk("interfaces", cb)
+        db.record_synthetic_updates("interfaces", 10)
+        assert hits == []
+
+
+class TestStats:
+    def test_drain_resets_window(self, db):
+        db.upsert("interfaces", "a", {})
+        db.record_synthetic_updates("interfaces", 9)
+        counts = db.drain_update_counts()
+        assert counts["interfaces"] == 10
+        assert db.drain_update_counts()["interfaces"] == 0
+        # Total survives draining.
+        assert db.stats("interfaces").updates_total == 10

@@ -1,0 +1,178 @@
+"""Tests for the workload driver and the TSDB federation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    BurstModel,
+    DeviceProfile,
+    DeviceWorkloadDriver,
+    NetworkDevice,
+    TimeSeriesDatabase,
+    TimeSeriesFederation,
+    UpdateRateProfile,
+)
+
+
+def device():
+    return NetworkDevice(DeviceProfile(
+        name="d", cores=4, memory_gb=8.0, base_cpu_pct=10.0, base_memory_mb=512.0,
+    ))
+
+
+class TestUpdateRateProfile:
+    def test_default_total_rate(self):
+        profile = UpdateRateProfile()
+        assert profile.total_rate_per_s == pytest.approx(3080.0)
+
+    def test_scaled(self):
+        profile = UpdateRateProfile({"a": 10.0}).scaled(2.5)
+        assert profile.rates_per_s["a"] == 25.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TelemetryError):
+            UpdateRateProfile({"a": -1.0})
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(TelemetryError):
+            UpdateRateProfile({"a": 1.0}).scaled(-1.0)
+
+
+class TestBurstModel:
+    def test_no_burst_is_unity(self):
+        model = BurstModel(burst_probability=0.0)
+        rng = np.random.default_rng(0)
+        assert all(model.sample_multiplier(rng) == 1.0 for _ in range(20))
+
+    def test_always_burst_in_range(self):
+        model = BurstModel(burst_probability=1.0, min_multiplier=2.0, max_multiplier=5.0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            m = model.sample_multiplier(rng)
+            assert 2.0 <= m <= 5.0
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            BurstModel(burst_probability=1.5)
+        with pytest.raises(TelemetryError):
+            BurstModel(min_multiplier=0.5)
+        with pytest.raises(TelemetryError):
+            BurstModel(min_multiplier=5.0, max_multiplier=2.0)
+
+
+class TestDeviceWorkloadDriver:
+    def test_advance_generates_poisson_volume(self):
+        dev = device()
+        driver = DeviceWorkloadDriver(
+            dev, profile=UpdateRateProfile({"t": 100.0}), seed=0
+        )
+        total = driver.advance(10.0)
+        # Poisson(1000): overwhelmingly within +-20%.
+        assert 800 <= total <= 1200
+        assert dev.database.stats("t").updates_total == total
+
+    def test_intensity_scales_volume(self):
+        totals = []
+        for intensity in (0.5, 2.0):
+            dev = device()
+            driver = DeviceWorkloadDriver(
+                dev, profile=UpdateRateProfile({"t": 200.0}),
+                intensity=intensity, seed=1,
+            )
+            totals.append(driver.advance(10.0))
+        assert totals[1] > totals[0] * 2.5
+
+    def test_zero_intensity_silent(self):
+        dev = device()
+        driver = DeviceWorkloadDriver(
+            dev, profile=UpdateRateProfile({"t": 100.0}), intensity=0.0, seed=0
+        )
+        assert driver.advance(10.0) == 0
+
+    def test_deterministic_for_seed(self):
+        runs = []
+        for _ in range(2):
+            dev = device()
+            driver = DeviceWorkloadDriver(
+                dev, profile=UpdateRateProfile({"t": 50.0}), seed=9
+            )
+            runs.append([driver.advance(5.0) for _ in range(4)])
+        assert runs[0] == runs[1]
+
+    def test_invalid_dt(self):
+        driver = DeviceWorkloadDriver(device(), profile=UpdateRateProfile({"t": 1.0}))
+        with pytest.raises(TelemetryError):
+            driver.advance(0.0)
+
+    def test_invalid_intensity(self):
+        with pytest.raises(TelemetryError):
+            DeviceWorkloadDriver(device(), intensity=-1.0)
+
+
+class TestFederation:
+    def build(self):
+        fed = TimeSeriesFederation()
+        a, b = TimeSeriesDatabase("a"), TimeSeriesDatabase("b")
+        for t in range(3):
+            a.append("cpu", float(t), 10.0 + t)
+            b.append("cpu", float(t) + 0.5, 20.0 + t)
+        fed.register("node-a", a)
+        fed.register("node-b", b)
+        return fed
+
+    def test_query_merges_time_ordered(self):
+        fed = self.build()
+        points = fed.query("cpu")
+        assert len(points) == 6
+        times = [p.timestamp for p in points]
+        assert times == sorted(times)
+
+    def test_latest_by_member(self):
+        fed = self.build()
+        latest = fed.latest_by_member("cpu")
+        assert latest == {"node-a": 12.0, "node-b": 22.0}
+
+    def test_aggregate_across(self):
+        fed = self.build()
+        assert fed.aggregate_across("cpu", "max") == 22.0
+        assert fed.aggregate_across("cpu", "count") == 6.0
+        assert np.isnan(fed.aggregate_across("missing"))
+
+    def test_federated_downsample_mean(self):
+        fed = self.build()
+        times, values = fed.federated_downsample("cpu", bucket_s=1.0)
+        assert times.size == 3
+        # Bucket 0 holds a@0 (10) and b@0.5 (20).
+        assert values[0] == pytest.approx(15.0)
+
+    def test_duplicate_member_rejected(self):
+        fed = TimeSeriesFederation()
+        fed.register("x", TimeSeriesDatabase())
+        with pytest.raises(TelemetryError, match="already registered"):
+            fed.register("x", TimeSeriesDatabase())
+
+    def test_unregister(self):
+        fed = TimeSeriesFederation()
+        fed.register("x", TimeSeriesDatabase())
+        fed.unregister("x")
+        assert fed.members == ()
+        with pytest.raises(TelemetryError):
+            fed.unregister("x")
+
+    def test_member_lookup(self):
+        fed = TimeSeriesFederation()
+        tsdb = TimeSeriesDatabase()
+        fed.register("x", tsdb)
+        assert fed.member("x") is tsdb
+        with pytest.raises(TelemetryError):
+            fed.member("y")
+
+    def test_tagged_queries_respect_tags(self):
+        fed = TimeSeriesFederation()
+        tsdb = TimeSeriesDatabase()
+        tsdb.append("cpu", 0.0, 1.0, tags={"src": "a"})
+        tsdb.append("cpu", 0.0, 2.0, tags={"src": "b"})
+        fed.register("n", tsdb)
+        points = fed.query("cpu", tags={"src": "a"})
+        assert [p.value for p in points] == [1.0]

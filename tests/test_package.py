@@ -1,0 +1,87 @@
+"""Public API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.core",
+    "repro.experiments",
+    "repro.lp",
+    "repro.routing",
+    "repro.simulation",
+    "repro.telemetry",
+    "repro.testbed",
+    "repro.topology",
+)
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_all_resolves(name):
+    """Every name in a package's __all__ must actually exist."""
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__") and module.__all__
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_all_resolves():
+    for symbol in repro.__all__:
+        assert hasattr(repro, symbol)
+
+
+def test_exception_hierarchy():
+    from repro.errors import (
+        CapacityError,
+        PlacementError,
+        ProtocolError,
+        ReproError,
+        RoutingError,
+        SimulationError,
+        SolverError,
+        TelemetryError,
+        TopologyError,
+    )
+
+    for exc in (
+        CapacityError, PlacementError, ProtocolError, RoutingError,
+        SimulationError, SolverError, TelemetryError, TopologyError,
+    ):
+        assert issubclass(exc, ReproError)
+
+    from repro.errors import InfeasibleProblemError, UnboundedProblemError
+
+    assert issubclass(InfeasibleProblemError, SolverError)
+    assert issubclass(UnboundedProblemError, SolverError)
+
+
+def test_headline_workflow_via_top_level_imports_only():
+    """The README quickstart works using only `repro` top-level names."""
+    import numpy as np
+
+    topo = repro.build_fat_tree(4)
+    repro.LinkUtilizationModel(0.2, 0.8, seed=1).apply(topo)
+    policy = repro.ThresholdPolicy()
+    caps = repro.CapacityModel(x_min=policy.x_min, seed=2).sample(topo.num_nodes)
+    from repro.core import classify_network
+
+    roles = classify_network(caps, policy)
+    if roles.busy and roles.candidates:
+        problem = repro.PlacementProblem(
+            topology=topo,
+            busy=tuple(roles.busy),
+            candidates=tuple(roles.candidates),
+            cs=np.array([policy.excess_load(caps[b]) for b in roles.busy]),
+            cd=np.array([policy.spare_capacity(caps[c]) for c in roles.candidates]),
+            data_mb=np.full(len(roles.busy), 10.0),
+        )
+        report = repro.PlacementEngine().solve(problem)
+        heuristic = repro.solve_heuristic(problem)
+        assert report.status is not None
+        assert 0.0 <= heuristic.hfr_pct <= 100.0

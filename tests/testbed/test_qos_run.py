@@ -1,0 +1,68 @@
+"""Tests for the QoS congestion harness (Section III-C guarantee)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.testbed import run_congestion_experiment
+
+
+class TestQoSGuarantee:
+    def test_production_never_loses_under_headroom(self):
+        """Paper: remote nodes 'are not expected to experience any
+        traffic loss' — production fits, so only monitoring drops."""
+        result = run_congestion_experiment(
+            intervals=30, egress_capacity_mbps=2.0,
+            production_load_fraction=0.9, seed=0,
+        )
+        assert result.total_production_loss_mb == 0.0
+        assert result.congested_intervals > 0  # link genuinely congested
+        assert result.total_monitoring_dropped_mb > 0.0
+
+    def test_ample_capacity_delivers_everything(self):
+        result = run_congestion_experiment(
+            intervals=20, egress_capacity_mbps=10_000.0,
+            production_load_fraction=0.1, seed=1,
+        )
+        assert result.congested_intervals == 0
+        assert result.monitoring_delivery_ratio == pytest.approx(1.0)
+
+    def test_delivery_ratio_monotone_in_capacity(self):
+        ratios = [
+            run_congestion_experiment(
+                intervals=20, egress_capacity_mbps=cap,
+                production_load_fraction=0.9, seed=2,
+            ).monitoring_delivery_ratio
+            for cap in (1.0, 5.0, 50.0)
+        ]
+        assert ratios[0] <= ratios[1] <= ratios[2]
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            run_congestion_experiment(intervals=0)
+        with pytest.raises(TelemetryError):
+            run_congestion_experiment(egress_capacity_mbps=0.0)
+        with pytest.raises(TelemetryError):
+            run_congestion_experiment(production_load_fraction=1.5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=0.99),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_strict_priority_invariant(self, load, seed):
+        """For any production load <= capacity, production loss is 0."""
+        result = run_congestion_experiment(
+            intervals=10,
+            egress_capacity_mbps=3.0,
+            production_load_fraction=load,
+            production_burst_fraction=min(0.99 - load, 0.1),
+            seed=seed,
+        )
+        assert result.total_production_loss_mb == 0.0
+        # Conservation per interval.
+        for s in result.samples:
+            assert s.delivered_monitoring_mb + s.dropped_monitoring_mb == (
+                pytest.approx(s.offered_monitoring_mb)
+            )

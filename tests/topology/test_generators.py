@@ -1,0 +1,100 @@
+"""Tests for the auxiliary topology generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    build_grid,
+    build_leaf_spine,
+    build_line,
+    build_random_connected,
+    build_ring,
+    build_star,
+)
+
+
+class TestLeafSpine:
+    def test_counts(self):
+        topo = build_leaf_spine(4, 8)
+        assert topo.num_nodes == 12
+        assert topo.num_edges == 32
+
+    def test_full_bipartite(self):
+        topo = build_leaf_spine(2, 3)
+        for spine in range(2):
+            for leaf in range(2, 5):
+                assert topo.has_edge(spine, leaf)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(TopologyError):
+            build_leaf_spine(0, 3)
+
+
+class TestRingLineStar:
+    def test_ring_degree_two(self):
+        topo = build_ring(6)
+        assert all(topo.degree(n) == 2 for n in range(6))
+        assert topo.num_edges == 6
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            build_ring(2)
+
+    def test_line_endpoints(self):
+        topo = build_line(5)
+        assert topo.degree(0) == 1
+        assert topo.degree(4) == 1
+        assert topo.num_edges == 4
+
+    def test_star_hub(self):
+        topo = build_star(7)
+        assert topo.degree(0) == 7
+        assert all(topo.degree(n) == 1 for n in range(1, 8))
+
+
+class TestGrid:
+    def test_grid_counts(self):
+        topo = build_grid(3, 4)
+        assert topo.num_nodes == 12
+        assert topo.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_connected(self):
+        assert build_grid(5, 5).is_connected()
+
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(TopologyError):
+            build_grid(1, 1)
+
+
+class TestRandomConnected:
+    def test_always_connected(self):
+        for seed in range(5):
+            topo = build_random_connected(30, edge_probability=0.02, seed=seed)
+            assert topo.is_connected()
+
+    def test_deterministic_for_seed(self):
+        a = build_random_connected(20, 0.2, seed=7)
+        b = build_random_connected(20, 0.2, seed=7)
+        assert a.num_edges == b.num_edges
+        assert a.edges == b.edges
+
+    def test_spanning_tree_minimum_edges(self):
+        topo = build_random_connected(10, edge_probability=0.0, seed=1)
+        assert topo.num_edges == 9  # exactly a tree
+
+    def test_invalid_probability(self):
+        with pytest.raises(TopologyError):
+            build_random_connected(5, edge_probability=1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_connected_and_simple(self, n, seed):
+        topo = build_random_connected(n, edge_probability=0.1, seed=seed)
+        assert topo.is_connected()
+        # No duplicate edges by construction: endpoint set size == edge count.
+        assert len(set(topo.edges)) == topo.num_edges
