@@ -1,0 +1,178 @@
+"""Self-contained PEP 517 / PEP 660 build backend for the repro package.
+
+``pyproject.toml`` points at this module via ``backend-path = ["_build"]``
+with an empty ``requires`` list, so ``pip install -e .`` (and full wheel
+or sdist builds) work fully offline with nothing but the standard
+library. The backend is deliberately small: it understands exactly this
+project's layout (``src/repro``, one console script, three runtime
+dependencies) rather than re-implementing setuptools.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import os
+import tarfile
+import zipfile
+from pathlib import Path
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST = f"{NAME}-{VERSION}"
+REQUIRES_PYTHON = ">=3.10"
+RUNTIME_DEPS = ("numpy>=1.24", "scipy>=1.10", "networkx>=3.0")
+CONSOLE_SCRIPTS = {"dust-experiments": "repro.experiments.cli:main"}
+
+_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _ROOT / "src"
+
+#: Top-level entries shipped in the sdist (directories recursed, files
+#: copied); everything else (results, caches, CI scratch) stays out.
+_SDIST_MEMBERS = (
+    "pyproject.toml",
+    "README.md",
+    "LICENSE",
+    "_build",
+    "src",
+    "tests",
+    "benchmarks",
+    "examples",
+)
+
+
+# -- PEP 517 requirement hooks: the whole point is that they are empty ----------
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+# -- metadata -------------------------------------------------------------------
+def _metadata() -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {NAME}",
+        f"Version: {VERSION}",
+        "Summary: DUST: resource-aware telemetry offloading - full reproduction (IPPS 2024)",
+        "License: Apache-2.0",
+        f"Requires-Python: {REQUIRES_PYTHON}",
+    ]
+    lines.extend(f"Requires-Dist: {dep}" for dep in RUNTIME_DEPS)
+    readme = _ROOT / "README.md"
+    body = readme.read_text(encoding="utf-8") if readme.exists() else ""
+    lines.append("Description-Content-Type: text/markdown")
+    return "\n".join(lines) + "\n\n" + body
+
+
+def _wheel_metadata() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        "Generator: dust_build_backend\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+
+
+def _entry_points() -> str:
+    lines = ["[console_scripts]"]
+    lines.extend(f"{name} = {target}" for name, target in sorted(CONSOLE_SCRIPTS.items()))
+    return "\n".join(lines) + "\n"
+
+
+def _record_line(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=")
+    return f"{name},sha256={digest.decode()},{len(data)}"
+
+
+def _write_wheel(path: Path, members: dict) -> None:
+    """Write ``members`` (+ a RECORD covering every member including the
+    RECORD itself) into a deterministic zip at ``path``."""
+    record_name = f"{DIST}.dist-info/RECORD"
+    record_lines = [_record_line(name, data) for name, data in members.items()]
+    # RECORD lists itself with no hash/size, per the wheel spec.
+    record_lines.append(f"{record_name},,")
+    members = dict(members)
+    members[record_name] = ("\n".join(record_lines) + "\n").encode()
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as whl:
+        for name, data in members.items():
+            info = zipfile.ZipInfo(name, date_time=(2020, 1, 1, 0, 0, 0))
+            info.external_attr = 0o644 << 16
+            whl.writestr(info, data)
+
+
+def _package_members() -> dict:
+    members = {}
+    for file in sorted(_SRC.rglob("*")):
+        if not file.is_file():
+            continue
+        rel = file.relative_to(_SRC).as_posix()
+        if "__pycache__" in rel or rel.endswith((".pyc", ".pyo")):
+            continue
+        members[rel] = file.read_bytes()
+    return members
+
+
+def _dist_info_members() -> dict:
+    return {
+        f"{DIST}.dist-info/METADATA": _metadata().encode(),
+        f"{DIST}.dist-info/WHEEL": _wheel_metadata().encode(),
+        f"{DIST}.dist-info/entry_points.txt": _entry_points().encode(),
+    }
+
+
+# -- PEP 517: wheel + sdist --------------------------------------------------------
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    name = f"{DIST}-py3-none-any.whl"
+    members = _package_members()
+    members.update(_dist_info_members())
+    _write_wheel(Path(wheel_directory) / name, members)
+    return name
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    name = f"{DIST}.tar.gz"
+    out = Path(sdist_directory) / name
+
+    def keep(tarinfo: tarfile.TarInfo):
+        base = os.path.basename(tarinfo.name)
+        if base == "__pycache__" or base.endswith((".pyc", ".pyo")):
+            return None
+        tarinfo.uid = tarinfo.gid = 0
+        tarinfo.uname = tarinfo.gname = ""
+        return tarinfo
+
+    with tarfile.open(out, "w:gz") as tar:
+        for member in _SDIST_MEMBERS:
+            src = _ROOT / member
+            if src.exists():
+                tar.add(src, arcname=f"{DIST}/{member}", filter=keep)
+    return name
+
+
+# -- PEP 660: editable install ------------------------------------------------------
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    name = f"{DIST}-py3-none-any.whl"
+    members = {f"__editable__.{DIST}.pth": (str(_SRC) + "\n").encode()}
+    members.update(_dist_info_members())
+    _write_wheel(Path(wheel_directory) / name, members)
+    return name
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    dist_info = Path(metadata_directory) / f"{DIST}.dist-info"
+    dist_info.mkdir(parents=True, exist_ok=True)
+    (dist_info / "METADATA").write_text(_metadata(), encoding="utf-8")
+    (dist_info / "WHEEL").write_text(_wheel_metadata(), encoding="utf-8")
+    (dist_info / "entry_points.txt").write_text(_entry_points(), encoding="utf-8")
+    return dist_info.name
+
+
+prepare_metadata_for_build_editable = prepare_metadata_for_build_wheel

@@ -1,0 +1,220 @@
+"""Benchmark the parallel + incremental Trmin route-pricing engine.
+
+Measures, on an 8-k fat-tree (4-k with ``--smoke``), for both path
+engines:
+
+* serial reference pricing (``TrminEngine`` with ``workers=1``);
+* parallel pricing at 2 and 4 workers (row fan-out onto the pool);
+* versioned-cache behaviour — warm hit, and a single-link utilization
+  bump re-priced incrementally vs. the full recompute it replaces.
+
+Every mode's ``(R, hops)`` matrices are compared bit-for-bit against a
+fresh serial :class:`ResponseTimeModel` sweep; any disagreement makes
+the script exit non-zero (CI runs ``--smoke``). Results land in
+``BENCH_trmin.json`` — regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_trmin_engine.py
+
+Honest-numbers note: parallel speedup is bounded by physical cores;
+``cpu_count`` is recorded in the output so single-core CI boxes (where
+process fan-out cannot beat serial) are distinguishable from real
+multi-core results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.routing import PathEngine, ResponseTimeModel, TrminEngine
+from repro.topology import LinkUtilizationModel, NodeKind, build_fat_tree
+
+WORKER_COUNTS = (2, 4)
+
+
+def build_fixture(smoke: bool):
+    k = 4 if smoke else 8
+    topo = build_fat_tree(k)
+    LinkUtilizationModel(0.2, 0.8, seed=0).apply(topo)
+    edge_switches = topo.nodes_of_kind(NodeKind.EDGE_SWITCH)
+    if smoke:
+        sources, destinations = edge_switches[:4], edge_switches[-4:]
+        max_hops = {PathEngine.ENUMERATION: 4, PathEngine.DP: 5}
+    else:
+        sources, destinations = edge_switches[:16], edge_switches[-16:]
+        # The enumeration engine is the paper's ~k^6 blowup; hop 5 keeps
+        # the full bench in seconds while still being pool-bound work.
+        max_hops = {PathEngine.ENUMERATION: 5, PathEngine.DP: 7}
+    return topo, k, sources, destinations, max_hops
+
+
+def timed(fn, repeats: int) -> float:
+    """Best-of-N wall time (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def identical(result, reference) -> bool:
+    R, hops, _ = result
+    R_ref, hops_ref, _ = reference
+    return np.array_equal(R, R_ref) and np.array_equal(hops, hops_ref)
+
+
+def bench_engine(
+    path_engine: PathEngine,
+    topo,
+    sources: List[int],
+    destinations: List[int],
+    max_hops: int,
+    repeats: int,
+    failures: List[str],
+) -> Dict:
+    model = ResponseTimeModel(engine=path_engine, max_hops=max_hops)
+    reference = model.resistance_matrix(topo, sources, destinations)
+
+    def check(label: str, result) -> None:
+        if not identical(result, reference):
+            failures.append(f"{path_engine.value}/{label} disagrees with serial")
+
+    serial_engine = TrminEngine(model, workers=1, cache=False)
+    serial_s = timed(
+        lambda: check(
+            "serial",
+            serial_engine.resistance_matrix(topo, sources, destinations),
+        ),
+        repeats,
+    )
+
+    parallel: Dict[str, float] = {}
+    for workers in WORKER_COUNTS:
+        engine = TrminEngine(model, workers=workers, cache=False, min_parallel_pairs=1)
+        parallel[str(workers)] = timed(
+            lambda: check(
+                f"parallel-{workers}",
+                engine.resistance_matrix(topo, sources, destinations),
+            ),
+            repeats,
+        )
+
+    # Cache behaviour: warm hit, then a single-link utilization bump.
+    cached_engine = TrminEngine(model, workers=1)
+    full_s = timed(
+        lambda: check(
+            "cache-cold",
+            cached_engine.resistance_matrix(topo, sources, destinations),
+        ),
+        1,
+    )
+    warm_s = timed(
+        lambda: check(
+            "cache-warm",
+            cached_engine.resistance_matrix(topo, sources, destinations),
+        ),
+        repeats,
+    )
+    edge_id = topo.num_edges // 2
+    topo.set_utilization(
+        edge_id, min(topo.link(edge_id).utilization + 0.15, 0.95)
+    )
+    reference = model.resistance_matrix(topo, sources, destinations)
+    t0 = time.perf_counter()
+    repriced = cached_engine.resistance_matrix(topo, sources, destinations)
+    reprice_s = time.perf_counter() - t0
+    check("cache-reprice", repriced)
+    if cached_engine.stats.incremental_updates < 1:
+        failures.append(f"{path_engine.value}: single-link delta was not incremental")
+    full_after_s = timed(
+        lambda: check(
+            "full-after-delta",
+            TrminEngine(model, workers=1, cache=False).resistance_matrix(
+                topo, sources, destinations
+            ),
+        ),
+        repeats,
+    )
+
+    return {
+        "max_hops": max_hops,
+        "serial_s": serial_s,
+        "parallel_s": parallel,
+        "parallel_speedup_at_4": serial_s / parallel["4"] if parallel["4"] else None,
+        "cache": {
+            "cold_s": full_s,
+            "warm_hit_s": warm_s,
+            "single_link_reprice_s": reprice_s,
+            "full_recompute_s": full_after_s,
+            "reprice_speedup": full_after_s / reprice_s if reprice_s else None,
+            "pairs_repriced": cached_engine.stats.pairs_repriced,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixture (4-k fat-tree), finishes well under 60 s",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_trmin.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    repeats = max(1, args.repeats if not args.smoke else 1)
+
+    topo, k, sources, destinations, max_hops = build_fixture(args.smoke)
+    failures: List[str] = []
+    report = {
+        "bench": "trmin_engine",
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "fixture": {
+            "topology": f"fat-tree k={k}",
+            "nodes": topo.num_nodes,
+            "edges": topo.num_edges,
+            "sources": len(sources),
+            "destinations": len(destinations),
+        },
+        "engines": {},
+    }
+    for path_engine in (PathEngine.ENUMERATION, PathEngine.DP):
+        report["engines"][path_engine.value] = bench_engine(
+            path_engine,
+            topo,
+            sources,
+            destinations,
+            max_hops[path_engine],
+            repeats,
+            failures,
+        )
+    report["bit_identical"] = not failures
+    if failures:
+        report["failures"] = failures
+
+    path = os.path.abspath(args.output)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}", file=sys.stderr)
+    if failures:
+        print("ENGINE DISAGREEMENT:\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.placement import PlacementAssignment, PlacementProblem
 from repro.errors import PlacementError
+from repro.routing.engine import TrminEngine
 from repro.routing.response_time import PathEngine, ResponseTimeModel
 from repro.topology.links import BandwidthConvention
 
@@ -78,11 +79,15 @@ def solve_heuristic(
     problem: PlacementProblem,
     hop_radius: int = 1,
     convention: BandwidthConvention = BandwidthConvention.AVAILABLE,
+    trmin_engine: Optional[TrminEngine] = None,
 ) -> HeuristicReport:
     """Run Algorithm 1 (generalized to ``hop_radius``) on ``problem``.
 
     The problem's ``max_hops`` is ignored: the heuristic's whole point
-    is the fixed small radius.
+    is the fixed small radius. When a ``trmin_engine`` is supplied and
+    the radius exceeds 1, lane pricing goes through its (parallel,
+    version-cached) matrix instead of one DP per busy node; radius-1
+    keeps the direct-edge fast path either way.
     """
     if hop_radius < 1:
         raise PlacementError(f"hop_radius must be >= 1, got {hop_radius}")
@@ -95,6 +100,16 @@ def solve_heuristic(
         convention=convention, engine=PathEngine.DP, max_hops=hop_radius
     )
     weights = model.edge_weights(topology)
+
+    engine_rows = None
+    if hop_radius > 1 and trmin_engine is not None and problem.busy:
+        engine_rows = trmin_engine.resistance_matrix(
+            topology,
+            list(problem.busy),
+            list(problem.candidates),
+            with_paths=True,
+            model=model,
+        )
 
     assignments: List[PlacementAssignment] = []
     offloaded: Dict[int, float] = {}
@@ -118,6 +133,17 @@ def solve_heuristic(
 
                 path = Path(nodes=(busy, nbr), edges=(edge_id,))
                 lanes.append((cost, 1, b, path))
+        elif engine_rows is not None:
+            R, row_hops, route_paths = engine_rows
+            for node, b in candidate_index.items():
+                if node == busy or remaining_cd[b] <= _TOL:
+                    continue
+                if not np.isfinite(R[a, b]):
+                    continue
+                cost = float(problem.data_mb[a] * R[a, b])
+                lanes.append(
+                    (cost, int(row_hops[a, b]), b, route_paths.get((busy, node)))
+                )
         else:
             from repro.routing.shortest import hop_constrained_shortest
 

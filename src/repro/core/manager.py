@@ -96,6 +96,7 @@ class DUSTManager:
         max_hops: Optional[int] = None,
         heuristic_fallback: bool = True,
         reclaim_hysteresis_pct: float = 5.0,
+        workers: Optional[int] = None,
     ) -> None:
         self.node_id = node_id
         self.topology = topology
@@ -104,8 +105,10 @@ class DUSTManager:
         self.policy = policy
         self.nmdb = NMDB(topology, policy)
         self.placement_engine = placement_engine or PlacementEngine(
-            response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops)
+            response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops),
+            workers=workers,
         )
+        self.workers = workers
         self.update_interval_s = update_interval_s
         self.optimization_period_s = optimization_period_s
         self.keepalive_timeout_s = keepalive_timeout_s
@@ -254,7 +257,9 @@ class DUSTManager:
                 # Partial relief beats none: Algorithm 1 places whatever
                 # fits one hop away even when Eq. 3 has no full solution.
                 self.counters.heuristic_fallbacks += 1
-                assignments = solve_heuristic(problem).assignments
+                assignments = solve_heuristic(
+                    problem, trmin_engine=self.placement_engine.trmin_engine
+                ).assignments
             else:
                 return report
         for assignment in assignments:

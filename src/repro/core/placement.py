@@ -44,6 +44,7 @@ from repro.lp import (
     solve_simplex,
     solve_transportation,
 )
+from repro.routing.engine import TrminEngine
 from repro.routing.response_time import PathEngine, ResponseTimeModel
 from repro.routing.routes import Path
 from repro.topology.graph import Topology
@@ -226,6 +227,13 @@ class PlacementEngine:
         Materialize the chosen :class:`~repro.routing.routes.Path` per
         assignment (the controllable-route output). Slightly more work;
         disable for pure timing studies.
+    trmin_engine:
+        Route-pricing engine the Trmin matrix is computed through
+        (parallel fan-out + versioned incremental cache). ``None``
+        builds one from ``workers``.
+    workers:
+        Worker count for the default engine; ``None`` defers to
+        ``REPRO_WORKERS`` / CPU count.
     """
 
     def __init__(
@@ -233,6 +241,8 @@ class PlacementEngine:
         response_model: Optional[ResponseTimeModel] = None,
         lp_backend: str = "transportation",
         with_routes: bool = True,
+        trmin_engine: Optional[TrminEngine] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if lp_backend not in ("transportation", "scipy", "simplex"):
             raise PlacementError(
@@ -242,6 +252,8 @@ class PlacementEngine:
         self.response_model = response_model
         self.lp_backend = lp_backend
         self.with_routes = with_routes
+        self.workers = workers
+        self.trmin_engine = trmin_engine or TrminEngine(workers=workers)
 
     # -- internals -----------------------------------------------------------------
     def _model_for(self, problem: PlacementProblem) -> ResponseTimeModel:
@@ -355,12 +367,13 @@ class PlacementEngine:
 
         t0 = time.perf_counter()
         if n:
-            trmin, hops, paths = model.trmin_matrix(
+            trmin, hops, paths = self.trmin_engine.trmin_matrix(
                 problem.topology,
                 list(problem.busy),
                 list(problem.candidates),
                 problem.data_mb,
                 with_paths=self.with_routes,
+                model=model,
             )
         else:
             trmin = np.zeros((m, 0))

@@ -21,6 +21,7 @@ bench ``benchmarks/bench_ablation_zoning.py`` quantifies the trade.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,9 +35,16 @@ from repro.core.placement import (
     PlacementReport,
 )
 from repro.errors import PlacementError, TopologyError
+from repro.parallel import make_executor, resolve_workers
 from repro.topology.graph import NodeKind, Topology
 
 _TOL = 1e-9
+
+
+def _solve_zone(payload: Tuple[PlacementEngine, PlacementProblem]) -> PlacementReport:
+    """Pool task: one zone's Eq. 3 solve (module-level so it pickles)."""
+    engine, problem = payload
+    return engine.solve(problem)
 
 
 @dataclass(frozen=True)
@@ -197,9 +205,11 @@ class ZonedPlacementEngine:
         self,
         engine: Optional[PlacementEngine] = None,
         max_hops: Optional[int] = 7,
+        workers: Optional[int] = None,
     ) -> None:
-        self.engine = engine or PlacementEngine(with_routes=False)
+        self.engine = engine or PlacementEngine(with_routes=False, workers=workers)
         self.max_hops = max_hops
+        self.workers = workers
 
     def solve(
         self,
@@ -219,22 +229,27 @@ class ZonedPlacementEngine:
         cd_of = dict(zip(candidates, map(float, cd)))
         data_of = dict(zip(busy, map(float, data_mb)))
 
-        zone_reports: List[Tuple[Zone, PlacementReport]] = []
-        unplaced: Dict[int, float] = {}
+        problems: List[PlacementProblem] = []
         for zone in zones:
             members = set(zone.nodes)
             zone_busy = tuple(b for b in busy if b in members)
             zone_cands = tuple(c for c in candidates if c in members)
-            problem = PlacementProblem(
-                topology=topology,
-                busy=zone_busy,
-                candidates=zone_cands,
-                cs=np.array([cs_of[b] for b in zone_busy]),
-                cd=np.array([cd_of[c] for c in zone_cands]),
-                data_mb=np.array([data_of[b] for b in zone_busy]),
-                max_hops=self.max_hops,
+            problems.append(
+                PlacementProblem(
+                    topology=topology,
+                    busy=zone_busy,
+                    candidates=zone_cands,
+                    cs=np.array([cs_of[b] for b in zone_busy]),
+                    cd=np.array([cd_of[c] for c in zone_cands]),
+                    data_mb=np.array([data_of[b] for b in zone_busy]),
+                    max_hops=self.max_hops,
+                )
             )
-            report = self.engine.solve(problem)
+        reports = self._solve_all(problems)
+
+        zone_reports: List[Tuple[Zone, PlacementReport]] = []
+        unplaced: Dict[int, float] = {}
+        for zone, problem, report in zip(zones, problems, reports):
             zone_reports.append((zone, report))
             if not report.feasible:
                 unplaced[zone.zone_id] = float(problem.total_excess)
@@ -243,3 +258,20 @@ class ZonedPlacementEngine:
             unplaced_per_zone=unplaced,
             total_seconds=time.perf_counter() - start,
         )
+
+    def _solve_all(self, problems: List[PlacementProblem]) -> List[PlacementReport]:
+        """Solve zones serially or on the worker pool; order preserved.
+
+        Zones are independent subproblems, so each zone's report is the
+        same object-for-object result either way; any pool failure
+        (restricted sandbox, unpicklable backend) degrades to serial.
+        """
+        workers = resolve_workers(self.workers, task_count=len(problems))
+        if workers <= 1 or len(problems) < 2:
+            return [self.engine.solve(p) for p in problems]
+        payloads = [(self.engine, p) for p in problems]
+        try:
+            with make_executor(workers) as pool:
+                return list(pool.map(_solve_zone, payloads))
+        except (OSError, PermissionError, RuntimeError, pickle.PicklingError):
+            return [self.engine.solve(p) for p in problems]

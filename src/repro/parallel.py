@@ -1,0 +1,97 @@
+"""Worker-pool plumbing shared by the route-pricing engine and the
+zoned placement solver.
+
+One knob controls everything: the ``REPRO_WORKERS`` environment
+variable (or an explicit ``workers=`` argument, which wins). The
+resolution heuristic is deliberately conservative — parallelism only
+engages when the caller has more than one independent task and more
+than one core is available, so small problems keep their serial
+(zero-overhead, trivially deterministic) code path.
+
+Process pools are preferred because the enumeration hot loop is pure
+Python (GIL-bound); the ``fork`` start method is used when the platform
+offers it so workers inherit the topology without re-importing the
+world. Environments where process pools cannot start (restricted
+sandboxes) fall back to threads, and ultimately the callers themselves
+fall back to serial execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+#: Environment variable consulted when no explicit worker count is given.
+ENV_WORKERS = "REPRO_WORKERS"
+
+T = TypeVar("T")
+
+
+class ParallelismError(ReproError):
+    """Raised for malformed worker configuration (e.g. REPRO_WORKERS=x)."""
+
+
+def resolve_workers(
+    workers: Optional[int] = None, task_count: Optional[int] = None
+) -> int:
+    """Resolve the effective worker count (always >= 1).
+
+    Priority: explicit ``workers`` argument > ``REPRO_WORKERS``
+    environment variable > ``os.cpu_count()``. The result is clamped to
+    ``task_count`` — there is no point spawning more workers than
+    independent tasks.
+    """
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS)
+        if env is not None and env.strip():
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ParallelismError(
+                    f"{ENV_WORKERS} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    workers = max(int(workers), 1)
+    if task_count is not None:
+        workers = min(workers, max(int(task_count), 1))
+    return workers
+
+
+def make_executor(workers: int, kind: str = "process") -> Executor:
+    """Build an executor; ``kind`` is ``"process"`` (default) or
+    ``"thread"``. Process pools prefer the ``fork`` start method."""
+    if kind == "thread":
+        return ThreadPoolExecutor(max_workers=workers)
+    if kind != "process":
+        raise ParallelismError(f"unknown executor kind {kind!r}")
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:
+            context = multiprocessing.get_context()
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    except (OSError, PermissionError, ValueError):
+        # Pool machinery unavailable (restricted sandbox): degrade to
+        # threads — correctness is unaffected, only speed.
+        return ThreadPoolExecutor(max_workers=workers)
+
+
+def chunk_evenly(items: Sequence[T], chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, near-equal
+    pieces (no empty chunks); order is preserved across the
+    concatenation of the result."""
+    n = len(items)
+    chunks = max(1, min(int(chunks), n))
+    base, extra = divmod(n, chunks)
+    out: List[List[T]] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out

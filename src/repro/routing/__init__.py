@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+from repro.routing.engine import EngineStats, TrminCache, TrminEngine
 from repro.routing.kshortest import k_shortest_paths, path_cost
-from repro.routing.paths import count_paths, enumerate_paths, iter_simple_paths
+from repro.routing.paths import (
+    count_paths,
+    enumerate_paths,
+    iter_simple_paths,
+    iter_simple_paths_raw,
+)
 from repro.routing.reroute import MaintainedRoute, RerouteDecision, RouteMaintainer
 from repro.routing.response_time import PathEngine, ResponseTimeModel, TrminEntry
 from repro.routing.routes import Path, RouteChoice
@@ -15,6 +21,7 @@ from repro.routing.shortest import (
 )
 
 __all__ = [
+    "EngineStats",
     "HopConstrainedResult",
     "k_shortest_paths",
     "MaintainedRoute",
@@ -25,11 +32,14 @@ __all__ = [
     "PathEngine",
     "ResponseTimeModel",
     "RouteChoice",
+    "TrminCache",
+    "TrminEngine",
     "TrminEntry",
     "all_sources_hop_constrained",
     "count_paths",
     "enumerate_paths",
     "hop_constrained_shortest",
     "iter_simple_paths",
+    "iter_simple_paths_raw",
     "shortest_path",
 ]

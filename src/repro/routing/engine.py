@@ -1,0 +1,491 @@
+"""Parallel + incremental Trmin route-pricing engine.
+
+Pricing the ``Trmin_ij`` matrix dominates every quantitative result in
+the paper (the ILP itself is cheap; Figs. 8–12 measure the route
+pricing). :class:`TrminEngine` wraps the serial reference
+implementation in :class:`~repro.routing.response_time.ResponseTimeModel`
+with three orthogonal accelerations:
+
+* **parallel** — the matrix is row-partitioned across sources and
+  fanned out onto a process pool (:mod:`repro.parallel`); rows are
+  independent, so chunked results are *bit-identical* to the serial
+  sweep and are simply re-stacked;
+* **incremental** — a :class:`TrminCache` keys results on the
+  :class:`~repro.topology.graph.Topology` version counter. When only a
+  few link weights changed, it re-prices just the pairs whose cached
+  optimal route touches a dirty edge, plus the pairs that a
+  weight-*decrease* could improve (screened by an exact lower bound
+  through the decreased edge, computed from two layered DPs — the
+  transportation-pricing idea of screening columns by reduced cost);
+* **vectorized** — the underlying enumeration primitive batches path
+  pricing through one ``np.add.reduceat`` per ~512 paths (see
+  :func:`~repro.routing.response_time._best_enum_route`).
+
+All three layers reuse the same canonical per-pair / per-source
+primitives, so every mode returns bit-identical ``(R, hops)`` matrices
+— the property suite asserts exact equality, not approximate.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.parallel import chunk_evenly, make_executor, resolve_workers
+from repro.routing.response_time import (
+    PathEngine,
+    ResponseTimeModel,
+    _best_enum_route,
+    _dp_source_row,
+    validate_data_volumes,
+)
+from repro.routing.routes import Path
+from repro.topology.graph import Topology
+
+_TIE_TOL = 1e-12
+
+Pair = Tuple[int, int]
+
+
+def _price_chunk(payload) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+    """Pool worker: price one contiguous block of source rows with the
+    serial reference implementation (bit-identical by construction)."""
+    model, topology, chunk, destinations, with_paths = payload
+    return model.resistance_matrix(topology, chunk, destinations, with_paths=with_paths)
+
+
+@dataclass
+class EngineStats:
+    """Observable engine activity (reset with :meth:`TrminEngine.reset_stats`)."""
+
+    serial_computes: int = 0
+    parallel_computes: int = 0
+    cache_hits: int = 0
+    full_computes: int = 0
+    incremental_updates: int = 0
+    pairs_repriced: int = 0
+
+
+@dataclass
+class _CacheEntry:
+    """One cached ``(R, hops, paths)`` matrix plus the bookkeeping the
+    incremental re-pricer needs."""
+
+    topo_ref: "weakref.ref[Topology]"
+    version: int
+    weights: np.ndarray  # per-edge 1/Lu_e the matrices were priced with
+    sources: Tuple[int, ...]
+    destinations: Tuple[int, ...]
+    R: np.ndarray
+    hops: np.ndarray
+    paths: Dict[Pair, Path]
+    #: edge id -> pairs whose cached optimal route crosses it.
+    edge_to_pairs: Dict[int, Set[Pair]] = field(default_factory=dict)
+    src_index: Dict[int, int] = field(default_factory=dict)
+    dst_index: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.src_index = {s: a for a, s in enumerate(self.sources)}
+        self.dst_index = {d: b for b, d in enumerate(self.destinations)}
+        self.edge_to_pairs = {}
+        for pair, path in self.paths.items():
+            self._index_path(pair, path)
+
+    def _index_path(self, pair: Pair, path: Path) -> None:
+        for e in path.edges:
+            self.edge_to_pairs.setdefault(e, set()).add(pair)
+
+    def _unindex_path(self, pair: Pair, path: Path) -> None:
+        for e in path.edges:
+            bucket = self.edge_to_pairs.get(e)
+            if bucket is not None:
+                bucket.discard(pair)
+                if not bucket:
+                    del self.edge_to_pairs[e]
+
+    def replace_pair(self, pair: Pair, path: Optional[Path]) -> None:
+        old = self.paths.pop(pair, None)
+        if old is not None:
+            self._unindex_path(pair, old)
+        if path is not None:
+            self.paths[pair] = path
+            self._index_path(pair, path)
+
+
+class TrminCache:
+    """LRU cache of Trmin matrices keyed on
+    ``(topology, convention, engine, max_hops, sources, destinations)``
+    and validated against the topology version counter."""
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(
+        topology: Topology,
+        model: ResponseTimeModel,
+        sources: Tuple[int, ...],
+        destinations: Tuple[int, ...],
+    ) -> tuple:
+        return (
+            id(topology),
+            model.convention,
+            model.engine,
+            model.max_hops,
+            sources,
+            destinations,
+        )
+
+    def get(self, key: tuple, topology: Topology) -> Optional[_CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.topo_ref() is not topology:
+            # id() was recycled by a new Topology object: stale entry.
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, entry: _CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class TrminEngine:
+    """Resource-aware front end for Trmin matrix pricing.
+
+    Parameters
+    ----------
+    model:
+        Default :class:`ResponseTimeModel`; every method also accepts a
+        per-call ``model=`` override (cache entries are keyed per
+        model, so one engine serves many configurations).
+    workers:
+        Worker count; ``None`` defers to ``REPRO_WORKERS`` / CPU count
+        (see :func:`repro.parallel.resolve_workers`). ``1`` forces the
+        serial path.
+    cache:
+        Enable the versioned :class:`TrminCache`.
+    dirty_fraction_threshold:
+        Incremental re-pricing is abandoned for a full recompute once
+        more than this fraction of edges changed weight.
+    min_parallel_pairs:
+        Matrices smaller than this stay serial — pool startup would
+        dominate.
+    executor_kind:
+        ``"process"`` (default) or ``"thread"``.
+    """
+
+    def __init__(
+        self,
+        model: Optional[ResponseTimeModel] = None,
+        *,
+        workers: Optional[int] = None,
+        cache: bool = True,
+        max_cache_entries: int = 16,
+        dirty_fraction_threshold: float = 0.25,
+        min_parallel_pairs: int = 32,
+        executor_kind: str = "process",
+    ) -> None:
+        self.model = model if model is not None else ResponseTimeModel()
+        self.workers = workers
+        self.cache_enabled = cache
+        self.dirty_fraction_threshold = dirty_fraction_threshold
+        self.min_parallel_pairs = min_parallel_pairs
+        self.executor_kind = executor_kind
+        self._cache = TrminCache(max_entries=max_cache_entries)
+        self.stats = EngineStats()
+
+    # A pickled engine (e.g. shipped to a zoned-placement worker) drops
+    # its cache: entries hold weakrefs and are keyed on object ids that
+    # mean nothing in another process.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache = TrminCache()
+
+    # -- public API -----------------------------------------------------------------
+    def resistance_matrix(
+        self,
+        topology: Topology,
+        sources: Sequence[int],
+        destinations: Sequence[int],
+        with_paths: bool = False,
+        model: Optional[ResponseTimeModel] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+        """Drop-in replacement for
+        :meth:`ResponseTimeModel.resistance_matrix` — same contract,
+        same bits, parallel and cache-aware."""
+        model = model if model is not None else self.model
+        src = tuple(int(s) for s in sources)
+        dst = tuple(int(d) for d in destinations)
+        if (
+            not self.cache_enabled
+            or not src
+            or not dst
+            # Duplicate ids would alias rows/columns in the per-pair
+            # bookkeeping; such requests bypass the cache.
+            or len(set(src)) != len(src)
+            or len(set(dst)) != len(dst)
+        ):
+            return self._compute(model, topology, src, dst, with_paths)
+        return self._cached(model, topology, src, dst, with_paths)
+
+    def trmin_matrix(
+        self,
+        topology: Topology,
+        sources: Sequence[int],
+        destinations: Sequence[int],
+        data_mb: Sequence[float],
+        with_paths: bool = False,
+        model: Optional[ResponseTimeModel] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+        """Eq. 2 as a matrix (``T[a, b] = D_a * R[a, b]``) through the
+        parallel/cached pricing path."""
+        data = validate_data_volumes(data_mb, len(sources))
+        R, hops, paths = self.resistance_matrix(
+            topology, sources, destinations, with_paths, model=model
+        )
+        return data[:, None] * R, hops, paths
+
+    def invalidate(self) -> None:
+        """Drop every cached matrix."""
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    # -- computation ---------------------------------------------------------------
+    def _compute(
+        self,
+        model: ResponseTimeModel,
+        topology: Topology,
+        sources: Tuple[int, ...],
+        destinations: Tuple[int, ...],
+        with_paths: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+        workers = resolve_workers(self.workers, task_count=len(sources))
+        pairs = len(sources) * len(destinations)
+        if workers <= 1 or len(sources) < 2 or pairs < self.min_parallel_pairs:
+            self.stats.serial_computes += 1
+            return model.resistance_matrix(
+                topology, list(sources), list(destinations), with_paths=with_paths
+            )
+        chunks = chunk_evenly(sources, workers)
+        payloads = [
+            (model, topology, chunk, list(destinations), with_paths)
+            for chunk in chunks
+        ]
+        try:
+            with make_executor(workers, self.executor_kind) as pool:
+                results = list(pool.map(_price_chunk, payloads))
+        except (OSError, PermissionError, RuntimeError):
+            # Pool died (fork bomb guard, sandbox, ...): serial fallback.
+            self.stats.serial_computes += 1
+            return model.resistance_matrix(
+                topology, list(sources), list(destinations), with_paths=with_paths
+            )
+        self.stats.parallel_computes += 1
+        R = np.vstack([r for r, _, _ in results])
+        hops = np.vstack([h for _, h, _ in results])
+        paths: Dict[Pair, Path] = {}
+        for _, _, chunk_paths in results:
+            paths.update(chunk_paths)
+        return R, hops, paths
+
+    # -- cache layer ------------------------------------------------------------------
+    def _cached(
+        self,
+        model: ResponseTimeModel,
+        topology: Topology,
+        sources: Tuple[int, ...],
+        destinations: Tuple[int, ...],
+        with_paths: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+        key = TrminCache.key(topology, model, sources, destinations)
+        entry = self._cache.get(key, topology)
+        if entry is not None and topology.num_edges == entry.weights.shape[0]:
+            if entry.version == topology.version:
+                self.stats.cache_hits += 1
+                return self._export(entry, with_paths)
+            if self._reprice_incremental(model, topology, entry):
+                return self._export(entry, with_paths)
+        # Full (re)compute. Paths are always materialized into the
+        # entry: the incremental re-pricer needs each pair's optimal
+        # route to know which cached results a dirty edge invalidates.
+        version = topology.version
+        weights = model.edge_weights(topology)
+        R, hops, paths = self._compute(model, topology, sources, destinations, True)
+        self.stats.full_computes += 1
+        entry = _CacheEntry(
+            topo_ref=weakref.ref(topology),
+            version=version,
+            weights=weights,
+            sources=sources,
+            destinations=destinations,
+            R=R,
+            hops=hops,
+            paths=paths,
+        )
+        self._cache.put(key, entry)
+        return self._export(entry, with_paths)
+
+    @staticmethod
+    def _export(
+        entry: _CacheEntry, with_paths: bool
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+        return (
+            entry.R.copy(),
+            entry.hops.copy(),
+            dict(entry.paths) if with_paths else {},
+        )
+
+    def _reprice_incremental(
+        self, model: ResponseTimeModel, topology: Topology, entry: _CacheEntry
+    ) -> bool:
+        """Bring ``entry`` up to date by re-pricing only affected pairs;
+        returns False when a full recompute is the better (or only
+        sound) option."""
+        dirty_hint = topology.dirty_edges_since(entry.version)
+        if dirty_hint is None:
+            # Structural change or journal horizon exceeded.
+            return False
+        if dirty_hint:
+            new_weights = entry.weights.copy()
+            for e in dirty_hint:
+                new_weights[e] = 1.0 / topology.link(e).effective_mbps(model.convention)
+        else:
+            new_weights = entry.weights
+        changed = np.flatnonzero(new_weights != entry.weights)
+        if changed.size == 0:
+            # Version bumps without weight effect (e.g. a no-op write).
+            entry.version = topology.version
+            self.stats.cache_hits += 1
+            return True
+        if changed.size > self.dirty_fraction_threshold * max(topology.num_edges, 1):
+            return False
+
+        flagged: Set[Pair] = set()
+        # (a) pairs whose cached optimal route crosses a dirty edge —
+        # their cost is stale no matter which way the weight moved.
+        for e in changed:
+            flagged.update(entry.edge_to_pairs.get(int(e), ()))
+        # (b) pairs a weight-decrease could improve: screen with an
+        # exact lower bound on any hop-bounded route through the edge.
+        decreased = changed[new_weights[changed] < entry.weights[changed]]
+        for e in decreased:
+            flagged.update(
+                self._improvable_pairs(topology, entry, int(e), new_weights, model)
+            )
+        if flagged:
+            self._reprice_pairs(model, topology, entry, flagged, new_weights)
+        entry.weights = new_weights
+        entry.version = topology.version
+        self.stats.incremental_updates += 1
+        self.stats.pairs_repriced += len(flagged)
+        return True
+
+    def _improvable_pairs(
+        self,
+        topology: Topology,
+        entry: _CacheEntry,
+        edge_id: int,
+        weights: np.ndarray,
+        model: ResponseTimeModel,
+    ) -> List[Pair]:
+        """Pairs whose optimum might improve through ``edge_id``.
+
+        For edge ``e = {u, v}`` any route through it splits into a
+        prefix to one endpoint, the edge, and a suffix from the other;
+        two layered DPs rooted at ``u`` and ``v`` give the cheapest
+        hop-feasible split, i.e. an exact lower bound on every simple
+        path through ``e``. Pairs whose cached optimum already beats
+        the bound cannot improve and are skipped.
+        """
+        from repro.routing.shortest import hop_constrained_shortest
+
+        H = model.max_hops if model.max_hops is not None else topology.num_nodes - 1
+        if H < 1:
+            return []
+        u, v = topology.edges[edge_id]
+        du = hop_constrained_shortest(topology, u, H, weights).dist  # (H+1, n)
+        dv = hop_constrained_shortest(topology, v, H, weights).dist
+        # cummin over layers: cheapest reach within <= h hops.
+        du_cm = np.minimum.accumulate(du, axis=0)
+        dv_cm = np.minimum.accumulate(dv, axis=0)
+        src = np.asarray(entry.sources)
+        dst = np.asarray(entry.destinations)
+        w_e = weights[edge_id]
+        best_bound = np.full((src.size, dst.size), np.inf)
+        for h1 in range(H):  # h1 hops to the near endpoint, <= H-1-h1 after
+            h2 = H - 1 - h1
+            np.minimum(
+                best_bound,
+                du_cm[h1, src][:, None] + w_e + dv_cm[h2, dst][None, :],
+                out=best_bound,
+            )
+            np.minimum(
+                best_bound,
+                dv_cm[h1, src][:, None] + w_e + du_cm[h2, dst][None, :],
+                out=best_bound,
+            )
+        # The finite check keeps inf <= inf from flagging pairs that are
+        # unreachable within the hop budget (they can never improve:
+        # reachability is weight-independent).
+        improvable = np.isfinite(best_bound) & (best_bound <= entry.R + _TIE_TOL)
+        return [
+            (int(src[a]), int(dst[b])) for a, b in zip(*np.nonzero(improvable))
+        ]
+
+    def _reprice_pairs(
+        self,
+        model: ResponseTimeModel,
+        topology: Topology,
+        entry: _CacheEntry,
+        flagged: Set[Pair],
+        weights: np.ndarray,
+    ) -> None:
+        if model.engine is PathEngine.DP:
+            # The DP prices a whole source row at once; re-solve every
+            # source with at least one flagged pair.
+            for s in sorted({pair[0] for pair in flagged}):
+                a = entry.src_index[s]
+                row, row_hops, row_paths = _dp_source_row(
+                    topology, s, list(entry.destinations), model.max_hops, weights, True
+                )
+                entry.R[a, :] = row
+                entry.hops[a, :] = row_hops
+                for d in entry.destinations:
+                    entry.replace_pair((s, d), row_paths.get((s, d)))
+            return
+        for s, d in sorted(flagged):
+            a, b = entry.src_index[s], entry.dst_index[d]
+            res, nh, raw = _best_enum_route(topology, s, d, model.max_hops, weights)
+            if raw is None:
+                entry.R[a, b] = np.inf
+                entry.hops[a, b] = -1
+                entry.replace_pair((s, d), None)
+            else:
+                entry.R[a, b] = res
+                entry.hops[a, b] = nh
+                entry.replace_pair((s, d), Path(nodes=raw[0], edges=raw[1]))

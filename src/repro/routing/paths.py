@@ -13,24 +13,25 @@ For the polynomial alternative see :mod:`repro.routing.shortest`.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import RoutingError
 from repro.routing.routes import Path
 from repro.topology.graph import Topology
 
 
-def iter_simple_paths(
+def iter_simple_paths_raw(
     topology: Topology,
     source: int,
     destination: int,
     max_hops: Optional[int] = None,
-) -> Iterator[Path]:
-    """Yield every simple path from ``source`` to ``destination`` with at
-    most ``max_hops`` edges (unbounded when ``None``).
+) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Yield every simple path as a raw ``(nodes, edges)`` tuple pair.
 
-    Iterative DFS with an explicit stack; paths are yielded in DFS
-    order. ``source == destination`` yields the trivial zero-hop path.
+    Identical traversal to :func:`iter_simple_paths` but skips the
+    :class:`Path` dataclass construction (and its validation) per path —
+    the matrix hot loop prices thousands of paths per pair and only
+    materializes the winner.
     """
     topology.node(source)
     topology.node(destination)
@@ -38,7 +39,7 @@ def iter_simple_paths(
         raise RoutingError(f"max_hops must be non-negative, got {max_hops}")
 
     if source == destination:
-        yield Path(nodes=(source,), edges=())
+        yield (source,), ()
         return
     if max_hops == 0:
         return
@@ -64,10 +65,7 @@ def iter_simple_paths(
         if on_path[nbr]:
             continue
         if nbr == destination:
-            yield Path(
-                nodes=tuple(node_stack) + (destination,),
-                edges=tuple(edge_stack) + (edge_id,),
-            )
+            yield tuple(node_stack) + (destination,), tuple(edge_stack) + (edge_id,)
             continue
         if len(edge_stack) + 1 >= limit:
             continue  # extending through nbr could never reach in budget
@@ -75,6 +73,22 @@ def iter_simple_paths(
         edge_stack.append(edge_id)
         on_path[nbr] = True
         iter_stack.append(iter(topology.incident(nbr)))
+
+
+def iter_simple_paths(
+    topology: Topology,
+    source: int,
+    destination: int,
+    max_hops: Optional[int] = None,
+) -> Iterator[Path]:
+    """Yield every simple path from ``source`` to ``destination`` with at
+    most ``max_hops`` edges (unbounded when ``None``).
+
+    Iterative DFS with an explicit stack; paths are yielded in DFS
+    order. ``source == destination`` yields the trivial zero-hop path.
+    """
+    for nodes, edges in iter_simple_paths_raw(topology, source, destination, max_hops):
+        yield Path(nodes=nodes, edges=edges)
 
 
 def enumerate_paths(

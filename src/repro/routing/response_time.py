@@ -14,18 +14,26 @@ Two engines are provided, selected by :class:`PathEngine`:
   ILP-time blowup with max-hop (Figs. 8/10);
 * ``DP`` — layered Bellman–Ford (:mod:`repro.routing.shortest`),
   polynomial and exactly equivalent in optimum value.
+
+All pricing goes through two canonical primitives —
+:func:`_best_enum_route` (batched ``np.add.reduceat`` pricing over the
+raw path stream) and :func:`_dp_source_row` — shared with the parallel
+and cached layers in :mod:`repro.routing.engine`. Summation order is
+strictly sequential everywhere (Python accumulation below 8 edges,
+``reduceat`` segments above), which is what makes serial, parallel and
+incrementally-cached results bit-identical.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import RoutingError
-from repro.routing.paths import iter_simple_paths
+from repro.routing.paths import iter_simple_paths_raw
 from repro.routing.routes import Path, RouteChoice
 from repro.routing.shortest import hop_constrained_shortest
 from repro.topology.graph import Topology
@@ -33,12 +41,120 @@ from repro.topology.links import BandwidthConvention
 
 _TIE_TOL = 1e-12
 
+#: Paths priced per ``reduceat`` call in the enumeration hot loop.
+_PRICE_BATCH = 512
+
+#: Below this many edges a plain Python accumulation beats the numpy
+#: fancy-index round trip (list alloc + gather + reduction dispatch).
+_NUMPY_SUM_MIN_EDGES = 8
+
 
 def _path_resistance(path: "Path", edge_weights: np.ndarray) -> float:
-    """Sum of per-edge weights (``1/Lu_e``) along ``path``."""
-    if not path.edges:
+    """Sum of per-edge weights (``1/Lu_e``) along ``path``.
+
+    Sequential accumulation in both branches (the ``reduceat`` of a
+    single segment is a strict left fold), so the result is bit-equal
+    to the batched pricing in :func:`_best_enum_route`.
+    """
+    edges = path.edges
+    n = len(edges)
+    if n == 0:
         return 0.0
-    return float(edge_weights[list(path.edges)].sum())
+    if n < _NUMPY_SUM_MIN_EDGES:
+        total = 0.0
+        for e in edges:
+            total += edge_weights[e]
+        return float(total)
+    idx = np.fromiter(edges, dtype=np.int64, count=n)
+    return float(np.add.reduceat(edge_weights[idx], [0])[0])
+
+
+def _best_enum_route(
+    topology: Topology,
+    source: int,
+    destination: int,
+    max_hops: Optional[int],
+    edge_weights: np.ndarray,
+) -> Tuple[float, int, Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]]:
+    """Best hop-bounded route by exhaustive enumeration.
+
+    Returns ``(resistance, hops, (nodes, edges))`` — or
+    ``(inf, -1, None)`` when the destination is unreachable within the
+    hop budget. Paths are priced in batches: the edge ids of up to
+    ``_PRICE_BATCH`` paths are concatenated and summed with one
+    fancy-index + ``np.add.reduceat`` instead of one numpy round trip
+    per path; only candidates within ``_TIE_TOL`` of the running
+    minimum are then examined in DFS order, preserving the serial
+    scan's resistance-then-fewer-hops tie-break exactly.
+    """
+    best_res = np.inf
+    best_hops = -1
+    best_raw: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+    buf_edges: List[Tuple[int, ...]] = []
+    buf_raw: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+
+    def _flush() -> None:
+        nonlocal best_res, best_hops, best_raw
+        if not buf_edges:
+            return
+        count = len(buf_edges)
+        lens = np.fromiter(map(len, buf_edges), dtype=np.int64, count=count)
+        flat = np.fromiter(
+            (e for edges in buf_edges for e in edges),
+            dtype=np.int64,
+            count=int(lens.sum()),
+        )
+        starts = np.zeros(count, dtype=np.int64)
+        np.cumsum(lens[:-1], out=starts[1:])
+        res = np.add.reduceat(edge_weights[flat], starts)
+        # Only paths at or below the running minimum (+ tie tolerance)
+        # can change the outcome; visit those few in DFS order.
+        cut = min(float(res.min()), best_res) + _TIE_TOL
+        for idx in np.flatnonzero(res <= cut):
+            r = float(res[idx])
+            h = int(lens[idx])
+            if r < best_res - _TIE_TOL or (
+                abs(r - best_res) <= _TIE_TOL and h < best_hops
+            ):
+                best_res, best_hops, best_raw = r, h, buf_raw[idx]
+        buf_edges.clear()
+        buf_raw.clear()
+
+    for nodes, edges in iter_simple_paths_raw(topology, source, destination, max_hops):
+        if not edges:  # zero-hop path: source == destination
+            return 0.0, 0, (nodes, edges)
+        buf_edges.append(edges)
+        buf_raw.append((nodes, edges))
+        if len(buf_edges) >= _PRICE_BATCH:
+            _flush()
+    _flush()
+    return best_res, best_hops, best_raw
+
+
+def _dp_source_row(
+    topology: Topology,
+    source: int,
+    destinations: Sequence[int],
+    max_hops: Optional[int],
+    edge_weights: np.ndarray,
+    with_paths: bool,
+) -> Tuple[np.ndarray, np.ndarray, Dict[Tuple[int, int], Path]]:
+    """One source's Trmin row via the layered DP, optionally with the
+    optimal paths materialized."""
+    result = hop_constrained_shortest(topology, source, max_hops, edge_weights)
+    dest_arr = np.asarray(destinations, dtype=int)
+    best = result.best
+    row = best[dest_arr]
+    bh = result.best_hops()
+    row_hops = np.where(np.isfinite(row), bh[dest_arr], -1)
+    paths: Dict[Tuple[int, int], Path] = {}
+    if with_paths:
+        for dst in destinations:
+            if np.isfinite(best[int(dst)]):
+                path = result.path_to(int(dst))
+                if path is not None:
+                    paths[(int(source), int(dst))] = path
+    return row, row_hops, paths
 
 
 class PathEngine(enum.Enum):
@@ -102,18 +218,14 @@ class ResponseTimeModel:
             return RouteChoice(
                 path=path, response_time_s=_path_resistance(path, weights)
             )
-        best_path: Optional[Path] = None
-        best_res = np.inf
-        best_hops = np.inf
-        for path in iter_simple_paths(topology, source, destination, self.max_hops):
-            res = _path_resistance(path, weights)
-            if res < best_res - _TIE_TOL or (
-                abs(res - best_res) <= _TIE_TOL and path.num_hops < best_hops
-            ):
-                best_path, best_res, best_hops = path, res, path.num_hops
-        if best_path is None:
+        res, _, raw = _best_enum_route(
+            topology, source, destination, self.max_hops, weights
+        )
+        if raw is None:
             return None
-        return RouteChoice(path=best_path, response_time_s=best_res)
+        return RouteChoice(
+            path=Path(nodes=raw[0], edges=raw[1]), response_time_s=res
+        )
 
     # -- pairwise matrices --------------------------------------------------------
     def resistance_matrix(
@@ -131,6 +243,9 @@ class ResponseTimeModel:
         the chosen route's hop count (``-1`` unreachable), and
         ``paths`` maps (source, destination) node-id pairs to a
         materialized optimal :class:`Path` when ``with_paths``.
+
+        For parallel and incrementally-cached variants of this exact
+        computation see :class:`repro.routing.engine.TrminEngine`.
         """
         weights = self.edge_weights(topology)
         ns, nd = len(sources), len(destinations)
@@ -139,11 +254,11 @@ class ResponseTimeModel:
         paths: Dict[Tuple[int, int], Path] = {}
 
         if self.engine is PathEngine.DP:
-            dest_arr = np.asarray(destinations, dtype=int)
             if not with_paths:
                 # Fast path: all sources relaxed in one vectorized sweep.
                 from repro.routing.shortest import all_sources_hop_constrained
 
+                dest_arr = np.asarray(destinations, dtype=int)
                 best_all, hops_all = all_sources_hop_constrained(
                     topology, [int(s) for s in sources], self.max_hops, weights
                 )
@@ -153,42 +268,27 @@ class ResponseTimeModel:
                 )
                 return R, hops, paths
             for a, src in enumerate(sources):
-                result = hop_constrained_shortest(topology, src, self.max_hops, weights)
-                best = result.best
-                R[a, :] = best[dest_arr]
-                bh = result.best_hops()
-                hops[a, :] = np.where(np.isfinite(best[dest_arr]), bh[dest_arr], -1)
-                for b, dst in enumerate(destinations):
-                    if np.isfinite(R[a, b]):
-                        path = result.path_to(int(dst))
-                        if path is not None:
-                            paths[(int(src), int(dst))] = path
+                row, row_hops, row_paths = _dp_source_row(
+                    topology, int(src), destinations, self.max_hops, weights, True
+                )
+                R[a, :] = row
+                hops[a, :] = row_hops
+                paths.update(row_paths)
             # Same-node pairs have zero resistance and hop count 0 already
             # handled by the DP (dist[0, source] = 0).
             return R, hops, paths
 
         for a, src in enumerate(sources):
             for b, dst in enumerate(destinations):
-                if src == dst:
-                    R[a, b] = 0.0
-                    hops[a, b] = 0
-                    if with_paths:
-                        paths[(int(src), int(dst))] = Path(nodes=(int(src),), edges=())
+                res, nh, raw = _best_enum_route(
+                    topology, int(src), int(dst), self.max_hops, weights
+                )
+                if raw is None:
                     continue
-                best_path: Optional[Path] = None
-                best_res = np.inf
-                best_hops = np.inf
-                for path in iter_simple_paths(topology, int(src), int(dst), self.max_hops):
-                    res = _path_resistance(path, weights)
-                    if res < best_res - _TIE_TOL or (
-                        abs(res - best_res) <= _TIE_TOL and path.num_hops < best_hops
-                    ):
-                        best_path, best_res, best_hops = path, res, path.num_hops
-                if best_path is not None:
-                    R[a, b] = best_res
-                    hops[a, b] = best_path.num_hops
-                    if with_paths:
-                        paths[(int(src), int(dst))] = best_path
+                R[a, b] = res
+                hops[a, b] = nh
+                if with_paths:
+                    paths[(int(src), int(dst))] = Path(nodes=raw[0], edges=raw[1])
         return R, hops, paths
 
     def trmin_matrix(
@@ -204,13 +304,19 @@ class ResponseTimeModel:
         ``data_mb[a]`` is the monitoring data volume ``D_i`` of
         ``sources[a]``.
         """
-        data = np.asarray(data_mb, dtype=float)
-        if data.shape != (len(sources),):
-            raise RoutingError(
-                f"need one data volume per source: got {data.shape} for "
-                f"{len(sources)} sources"
-            )
-        if (data < 0).any():
-            raise RoutingError("data volumes must be non-negative")
+        data = validate_data_volumes(data_mb, len(sources))
         R, hops, paths = self.resistance_matrix(topology, sources, destinations, with_paths)
         return data[:, None] * R, hops, paths
+
+
+def validate_data_volumes(data_mb: Sequence[float], num_sources: int) -> np.ndarray:
+    """Shared Eq.-2 input validation: one non-negative ``D_i`` per source."""
+    data = np.asarray(data_mb, dtype=float)
+    if data.shape != (num_sources,):
+        raise RoutingError(
+            f"need one data volume per source: got {data.shape} for "
+            f"{num_sources} sources"
+        )
+    if (data < 0).any():
+        raise RoutingError("data volumes must be non-negative")
+    return data

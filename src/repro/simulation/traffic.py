@@ -84,8 +84,10 @@ class GravityTrafficMatrix:
                     continue
                 for e in path.edges:
                     carried[e] += v
-        for edge_id, link in enumerate(topology.links):
-            link.utilization = float(
+        topology.set_link_utilizations(
+            [
                 min(carried[edge_id] / link.capacity_mbps, self.max_util)
-            )
+                for edge_id, link in enumerate(topology.links)
+            ]
+        )
         return carried

@@ -21,6 +21,10 @@ import numpy as np
 from repro.errors import TopologyError
 from repro.topology.links import BandwidthConvention, Link
 
+#: Mutation-journal length cap; once exceeded the oldest entries are
+#: dropped and caches older than the journal horizon must recompute.
+_JOURNAL_CAP = 4096
+
 
 class NodeKind(enum.Enum):
     """Hardware persona of a node — DUST is hardware-agnostic, so every
@@ -62,6 +66,100 @@ class Topology:
         self._endpoints: List[Tuple[int, int]] = []
         self._adjacency: List[List[Tuple[int, int]]] = []  # node -> [(neighbor, edge_id)]
         self._edge_index: Dict[Tuple[int, int], int] = {}
+        self._version = 0
+        # Journal of (version-after-bump, dirty edge ids or None for a
+        # structural change); consumed by dirty_edges_since().
+        self._journal: List[Tuple[int, Optional[Tuple[int, ...]]]] = []
+
+    # -- versioning ---------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter. Every structural
+        change (node/edge added) and every link-state change made
+        through the topology mutation API bumps it; route-pricing
+        caches key their entries on this value."""
+        return self._version
+
+    def _bump(self, dirty_edges: Optional[Iterable[int]]) -> None:
+        self._version += 1
+        entry = None if dirty_edges is None else tuple(dirty_edges)
+        self._journal.append((self._version, entry))
+        if len(self._journal) > _JOURNAL_CAP:
+            del self._journal[: len(self._journal) - _JOURNAL_CAP]
+
+    def dirty_edges_since(self, version: int) -> Optional[frozenset]:
+        """Edge ids whose link state may have changed after ``version``.
+
+        Returns an empty set when nothing changed, ``None`` when the
+        answer is unknown (a structural change happened, the version is
+        from the future, or the journal no longer reaches back that
+        far) — callers must then treat *everything* as dirty.
+        """
+        if version == self._version:
+            return frozenset()
+        if version > self._version:
+            return None
+        start = self._journal[0][0] if self._journal else self._version + 1
+        if start > version + 1:
+            return None  # journal truncated below the requested version
+        dirty: set = set()
+        for entry_version, edges in self._journal:
+            if entry_version <= version:
+                continue
+            if edges is None:
+                return None
+            dirty.update(edges)
+        return frozenset(dirty)
+
+    # -- link-state mutation API --------------------------------------------------
+    # Writing through these (rather than mutating Link objects in
+    # place) is what keeps ``version``/``dirty_edges_since`` truthful —
+    # the contract the incremental Trmin cache depends on.
+    def set_utilization(self, edge_id: int, utilization: float) -> None:
+        """Set one link's utilization and mark the edge dirty."""
+        link = self.link(edge_id)
+        if not 0.0 <= utilization <= 1.0:
+            raise TopologyError(
+                f"link utilization must be in [0, 1], got {utilization}"
+            )
+        link.utilization = float(utilization)
+        self._bump((edge_id,))
+
+    def set_capacity(self, edge_id: int, capacity_mbps: float) -> None:
+        """Set one link's capacity and mark the edge dirty."""
+        link = self.link(edge_id)
+        if capacity_mbps <= 0:
+            raise TopologyError(
+                f"link capacity must be positive, got {capacity_mbps}"
+            )
+        link.capacity_mbps = float(capacity_mbps)
+        self._bump((edge_id,))
+
+    def set_link_utilizations(self, utilizations: Sequence[float]) -> None:
+        """Bulk utilization update (one value per edge, by edge id);
+        bumps the version once with every edge marked dirty."""
+        values = np.asarray(utilizations, dtype=float)
+        if values.shape != (self.num_edges,):
+            raise TopologyError(
+                f"need {self.num_edges} utilizations, got shape {values.shape}"
+            )
+        if values.size and (values.min() < 0.0 or values.max() > 1.0):
+            raise TopologyError("link utilizations must be in [0, 1]")
+        for link, value in zip(self._links, values):
+            link.utilization = float(value)
+        self._bump(range(self.num_edges))
+
+    def touch_links(self, edge_ids: Optional[Iterable[int]] = None) -> None:
+        """Declare that the given links (all, when ``None``) were
+        mutated out of band — e.g. by writing ``Link`` fields directly —
+        so version-keyed caches reprice them."""
+        if edge_ids is None:
+            self._bump(range(self.num_edges))
+            return
+        ids = tuple(edge_ids)
+        for edge_id in ids:
+            self.link(edge_id)  # validates existence
+        self._bump(ids)
 
     # -- construction -----------------------------------------------------------
     def add_node(
@@ -77,6 +175,7 @@ class Topology:
             Node(node_id=node_id, name=name or f"n{node_id}", kind=kind, pod=pod, attrs=attrs)
         )
         self._adjacency.append([])
+        self._bump(None)
         return node_id
 
     def add_edge(self, u: int, v: int, link: Optional[Link] = None) -> int:
@@ -94,6 +193,7 @@ class Topology:
         self._edge_index[key] = edge_id
         self._adjacency[u].append((v, edge_id))
         self._adjacency[v].append((u, edge_id))
+        self._bump(None)
         return edge_id
 
     def _check_node(self, node_id: int) -> None:

@@ -119,8 +119,12 @@ class LinkUtilizationModel:
     def apply(self, topology) -> None:
         """Assign fresh utilizations to every link of ``topology``."""
         values = self.sample(topology.num_edges)
-        for link, value in zip(topology.links, values):
-            link.utilization = float(value)
+        if hasattr(topology, "set_link_utilizations"):
+            # Bump the topology version so Trmin caches see the change.
+            topology.set_link_utilizations(values)
+        else:  # bare link containers (tests, duck-typed graphs)
+            for link, value in zip(topology.links, values):
+                link.utilization = float(value)
 
 
 def effective_bandwidths(

@@ -1,0 +1,238 @@
+"""Property-style suite for the parallel + incremental Trmin engine.
+
+The engine's contract is *bit-identity*: serial, parallel, cache-warm
+and incrementally re-priced matrices must be exactly equal (``==``,
+not ``allclose``) to a fresh serial :class:`ResponseTimeModel` sweep,
+for both path engines, including the hop tie-breaks.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import PathEngine, ResponseTimeModel, TrminEngine
+from repro.topology import (
+    Link,
+    Topology,
+    build_fat_tree,
+    build_random_connected,
+)
+
+ENGINES = [PathEngine.ENUMERATION, PathEngine.DP]
+
+
+def seeded_random_topology(seed, num_nodes=12):
+    topo = build_random_connected(num_nodes, edge_probability=0.2, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    topo.set_link_utilizations(rng.uniform(0.0, 0.9, topo.num_edges))
+    return topo
+
+
+def fat_tree_fixture():
+    topo = build_fat_tree(4)
+    rng = np.random.default_rng(7)
+    topo.set_link_utilizations(rng.uniform(0.0, 0.85, topo.num_edges))
+    return topo
+
+
+def endpoints(topo):
+    n = topo.num_nodes
+    sources = list(range(0, min(4, n // 2)))
+    destinations = list(range(n // 2, min(n // 2 + 6, n)))
+    return sources, destinations
+
+
+def assert_same_paths(expected, actual):
+    assert set(expected) == set(actual)
+    for pair, path in expected.items():
+        assert actual[pair].nodes == path.nodes, pair
+        assert actual[pair].edges == path.edges, pair
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("path_engine", ENGINES)
+    def test_serial_parallel_cached_agree_exactly(self, path_engine):
+        topo = fat_tree_fixture()
+        sources, destinations = endpoints(topo)
+        model = ResponseTimeModel(engine=path_engine, max_hops=4)
+        R_ref, hops_ref, paths_ref = model.resistance_matrix(
+            topo, sources, destinations, with_paths=True
+        )
+
+        serial = TrminEngine(model, workers=1, cache=False)
+        parallel = TrminEngine(
+            model, workers=3, cache=False, min_parallel_pairs=1
+        )
+        cached = TrminEngine(model, workers=1)
+        for engine in (serial, parallel, cached, cached):  # last call = warm
+            R, hops, paths = engine.resistance_matrix(
+                topo, sources, destinations, with_paths=True
+            )
+            assert np.array_equal(R, R_ref)
+            assert np.array_equal(hops, hops_ref)
+            assert_same_paths(paths_ref, paths)
+        assert serial.stats.serial_computes == 1
+        assert parallel.stats.parallel_computes == 1
+        assert cached.stats.full_computes == 1
+        assert cached.stats.cache_hits == 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_topologies_all_modes_agree(self, seed):
+        topo = seeded_random_topology(seed)
+        sources, destinations = endpoints(topo)
+        for path_engine in ENGINES:
+            model = ResponseTimeModel(engine=path_engine, max_hops=4)
+            R_ref, hops_ref, _ = model.resistance_matrix(topo, sources, destinations)
+            for engine in (
+                TrminEngine(model, workers=1, cache=False),
+                TrminEngine(
+                    model,
+                    workers=2,
+                    cache=False,
+                    min_parallel_pairs=1,
+                    executor_kind="thread",
+                ),
+                TrminEngine(model, workers=1),
+            ):
+                R, hops, _ = engine.resistance_matrix(topo, sources, destinations)
+                assert np.array_equal(R, R_ref), (seed, path_engine)
+                assert np.array_equal(hops, hops_ref), (seed, path_engine)
+
+    @pytest.mark.parametrize("path_engine", ENGINES)
+    def test_tie_breaks_prefer_fewer_hops(self, path_engine):
+        # direct 0-2 and 0-1-2 have equal resistance; fewer hops wins.
+        topo = Topology()
+        n0, n1, n2 = topo.add_node(), topo.add_node(), topo.add_node()
+        topo.add_edge(n0, n1, Link(capacity_mbps=100.0))
+        topo.add_edge(n1, n2, Link(capacity_mbps=100.0))
+        topo.add_edge(n0, n2, Link(capacity_mbps=50.0))
+        model = ResponseTimeModel(engine=path_engine, max_hops=3)
+        engine = TrminEngine(model, workers=1)
+        R, hops, paths = engine.resistance_matrix(topo, [n0], [n2], with_paths=True)
+        assert R[0, 0] == pytest.approx(1.0 / 50.0)
+        assert hops[0, 0] == 1
+        assert paths[(n0, n2)].nodes == (n0, n2)
+
+
+class TestIncrementalCache:
+    @pytest.mark.parametrize("path_engine", ENGINES)
+    @pytest.mark.parametrize("direction", ["increase", "decrease"])
+    def test_single_link_delta_reprices_exactly(self, path_engine, direction):
+        topo = fat_tree_fixture()
+        sources, destinations = endpoints(topo)
+        model = ResponseTimeModel(engine=path_engine, max_hops=4)
+        engine = TrminEngine(model, workers=1)
+        engine.resistance_matrix(topo, sources, destinations)
+
+        edge_id = 3
+        util = topo.link(edge_id).utilization
+        new_util = min(util + 0.4, 0.95) if direction == "increase" else util * 0.25
+        topo.set_utilization(edge_id, new_util)
+
+        R, hops, _ = engine.resistance_matrix(topo, sources, destinations)
+        R_ref, hops_ref, _ = model.resistance_matrix(topo, sources, destinations)
+        assert np.array_equal(R, R_ref)
+        assert np.array_equal(hops, hops_ref)
+        assert engine.stats.full_computes == 1
+        assert engine.stats.incremental_updates == 1
+
+    @pytest.mark.parametrize("path_engine", ENGINES)
+    def test_repeated_mixed_deltas_stay_exact(self, path_engine):
+        topo = seeded_random_topology(3)
+        sources, destinations = endpoints(topo)
+        model = ResponseTimeModel(engine=path_engine, max_hops=4)
+        engine = TrminEngine(model, workers=1)
+        engine.resistance_matrix(topo, sources, destinations)
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            edge_id = int(rng.integers(0, topo.num_edges))
+            topo.set_utilization(edge_id, float(rng.uniform(0.0, 0.9)))
+            R, hops, _ = engine.resistance_matrix(topo, sources, destinations)
+            R_ref, hops_ref, _ = model.resistance_matrix(topo, sources, destinations)
+            assert np.array_equal(R, R_ref)
+            assert np.array_equal(hops, hops_ref)
+        assert engine.stats.full_computes == 1
+        assert engine.stats.incremental_updates >= 1
+
+    def test_bulk_resample_past_threshold_forces_full_recompute(self):
+        topo = fat_tree_fixture()
+        sources, destinations = endpoints(topo)
+        model = ResponseTimeModel(engine=PathEngine.DP, max_hops=4)
+        engine = TrminEngine(model, workers=1, dirty_fraction_threshold=0.1)
+        engine.resistance_matrix(topo, sources, destinations)
+        rng = np.random.default_rng(5)
+        topo.set_link_utilizations(rng.uniform(0.0, 0.9, topo.num_edges))
+        R, hops, _ = engine.resistance_matrix(topo, sources, destinations)
+        R_ref, hops_ref, _ = model.resistance_matrix(topo, sources, destinations)
+        assert np.array_equal(R, R_ref)
+        assert np.array_equal(hops, hops_ref)
+        assert engine.stats.full_computes == 2
+        assert engine.stats.incremental_updates == 0
+
+    def test_structural_change_forces_full_recompute(self):
+        topo = seeded_random_topology(9)
+        sources, destinations = endpoints(topo)
+        model = ResponseTimeModel(engine=PathEngine.DP, max_hops=4)
+        engine = TrminEngine(model, workers=1)
+        engine.resistance_matrix(topo, sources, destinations)
+        topo.add_node()
+        topo.add_edge(0, topo.num_nodes - 1, Link(capacity_mbps=500.0))
+        R, hops, _ = engine.resistance_matrix(topo, sources, destinations)
+        R_ref, hops_ref, _ = model.resistance_matrix(topo, sources, destinations)
+        assert np.array_equal(R, R_ref)
+        assert np.array_equal(hops, hops_ref)
+        assert engine.stats.full_computes == 2
+
+    def test_unchanged_topology_hits_cache(self):
+        topo = fat_tree_fixture()
+        sources, destinations = endpoints(topo)
+        engine = TrminEngine(ResponseTimeModel(engine=PathEngine.DP, max_hops=4))
+        engine.resistance_matrix(topo, sources, destinations)
+        engine.resistance_matrix(topo, sources, destinations)
+        engine.resistance_matrix(topo, sources, destinations)
+        assert engine.stats.full_computes == 1
+        assert engine.stats.cache_hits == 2
+
+    def test_duplicate_endpoints_bypass_cache(self):
+        topo = fat_tree_fixture()
+        engine = TrminEngine(ResponseTimeModel(engine=PathEngine.DP, max_hops=4))
+        engine.resistance_matrix(topo, [0, 0, 1], [5, 6])
+        assert engine.stats.full_computes == 0
+        assert engine.stats.serial_computes == 1
+
+
+class TestEngineMechanics:
+    def test_trmin_matrix_scales_rows_by_data_volume(self):
+        topo = fat_tree_fixture()
+        sources, destinations = endpoints(topo)
+        data_mb = [float(2 * a + 1) for a in range(len(sources))]
+        model = ResponseTimeModel(engine=PathEngine.DP, max_hops=4)
+        engine = TrminEngine(model, workers=1)
+        T, hops, _ = engine.trmin_matrix(topo, sources, destinations, data_mb)
+        R_ref, hops_ref, _ = model.resistance_matrix(topo, sources, destinations)
+        assert np.array_equal(T, np.asarray(data_mb)[:, None] * R_ref)
+        assert np.array_equal(hops, hops_ref)
+
+    def test_pickled_engine_drops_cache_and_still_works(self):
+        topo = fat_tree_fixture()
+        sources, destinations = endpoints(topo)
+        model = ResponseTimeModel(engine=PathEngine.DP, max_hops=4)
+        engine = TrminEngine(model, workers=1)
+        R_ref, _, _ = engine.resistance_matrix(topo, sources, destinations)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert len(clone._cache) == 0
+        R, _, _ = clone.resistance_matrix(topo, sources, destinations)
+        assert np.array_equal(R, R_ref)
+
+    def test_invalidate_clears_cached_entries(self):
+        topo = fat_tree_fixture()
+        sources, destinations = endpoints(topo)
+        engine = TrminEngine(ResponseTimeModel(engine=PathEngine.DP, max_hops=4))
+        engine.resistance_matrix(topo, sources, destinations)
+        engine.invalidate()
+        engine.resistance_matrix(topo, sources, destinations)
+        assert engine.stats.full_computes == 2
