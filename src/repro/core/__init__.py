@@ -53,6 +53,7 @@ from repro.core.placement import (
     PlacementEngine,
     PlacementProblem,
     PlacementReport,
+    PlacementSession,
 )
 from repro.core.postoffload import (
     KeepaliveTracker,
@@ -107,6 +108,7 @@ __all__ = [
     "PlacementEngine",
     "PlacementProblem",
     "PlacementReport",
+    "PlacementSession",
     "QoSClass",
     "RECOMMENDED_K_IO",
     "Reclaim",

@@ -40,7 +40,12 @@ from repro.core.messages import (
 )
 from repro.core.nmdb import NMDB
 from repro.core.offload import ActiveOffload, OffloadLedger
-from repro.core.placement import PlacementEngine, PlacementProblem, PlacementReport
+from repro.core.placement import (
+    PlacementEngine,
+    PlacementProblem,
+    PlacementReport,
+    PlacementSession,
+)
 from repro.core.postoffload import KeepaliveTracker, ReplicaSelector
 from repro.core.thresholds import ThresholdPolicy
 from repro.errors import ProtocolError
@@ -108,6 +113,10 @@ class DUSTManager:
             response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops),
             workers=workers,
         )
+        # Periodic re-solves run through a session so each optimization
+        # round warm-starts the LP from the previous round's basis (and
+        # keeps hitting the engine's incremental route cache).
+        self.placement_session = PlacementSession(engine=self.placement_engine)
         self.workers = workers
         self.update_interval_s = update_interval_s
         self.optimization_period_s = optimization_period_s
@@ -248,7 +257,7 @@ class DUSTManager:
             data_mb=snapshot.data_mb[busy],
             max_hops=self.max_hops,
         )
-        report = self.placement_engine.solve(problem)
+        report = self.placement_session.solve(problem)
         self.placement_history.append(report)
         assignments = report.assignments
         if not report.feasible:

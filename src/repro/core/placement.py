@@ -36,7 +36,9 @@ from repro.core.nmdb import NetworkSnapshot
 from repro.errors import PlacementError
 from repro.lp import (
     LinearProgram,
+    SimplexBasis,
     SolveStatus,
+    TransportationBasis,
     TransportationProblem,
     lp_sum,
     solve_branch_and_bound,
@@ -51,6 +53,15 @@ from repro.topology.graph import Topology
 
 #: Flows below this are dropped from the assignment list (numerical dust).
 _FLOW_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class _LpExtra:
+    """Warm-start bookkeeping riding along with one LP dispatch."""
+
+    basis: object = None
+    warm_started: bool = False
+    iterations: int = 0
 
 
 @dataclass(frozen=True)
@@ -192,6 +203,17 @@ class PlacementReport:
     #: id -> dual of its 3a row), populated when the scipy backend
     #: solved the LP: beta falls by |dual| per extra capacity point.
     capacity_duals: Dict[int, float] = field(default_factory=dict)
+    #: Warm-start handle for the next same-shaped solve: the
+    #: transportation backend's final basis tree, or the simplex
+    #: backend's :class:`~repro.lp.simplex.SimplexBasis`. ``None`` when
+    #: the backend has nothing reusable (scipy, infeasible, no LP run).
+    lp_basis: object = None
+    #: True when the LP actually started from a supplied warm basis
+    #: (a rejected/repaired-to-cold hint reports False).
+    lp_warm_started: bool = False
+    #: Pivot count of the LP solve (MODI or simplex iterations) — the
+    #: quantity warm starts shrink; 0 for scipy and trivial solves.
+    lp_iterations: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -277,19 +299,34 @@ class PlacementEngine:
         cd: np.ndarray,
         coeff: Optional[np.ndarray] = None,
         integral: bool = False,
-    ) -> Tuple[SolveStatus, np.ndarray, float, Dict[int, float]]:
-        """Dispatch the placement LP; returns (status, flow, beta, duals).
+        warm_start: object = None,
+    ) -> Tuple[SolveStatus, np.ndarray, float, Dict[int, float], "_LpExtra"]:
+        """Dispatch the placement LP; returns (status, flow, beta, duals,
+        extra) where ``extra`` carries the warm-start bookkeeping.
 
         The specialized transportation backend handles the paper's
         homogeneous continuous case; heterogeneous coefficients or
         integral variables force the general LP/MILP path (with the
         ``transportation`` backend transparently upgraded to scipy).
+        ``warm_start`` is the previous same-shaped solve's basis: a
+        :class:`~repro.lp.transportation.TransportationBasis` for the
+        transportation path, a :class:`~repro.lp.simplex.SimplexBasis`
+        for the from-scratch simplex. Mismatched hints are ignored by
+        the solvers, so passing a stale one is always safe.
         """
         m, n = cost.shape
         general_needed = coeff is not None or integral
         if self.lp_backend == "transportation" and not general_needed:
-            result = solve_transportation(TransportationProblem(cs, cd, cost))
-            return result.status, result.flow, result.objective, {}
+            result = solve_transportation(
+                TransportationProblem(cs, cd, cost),
+                warm_start=warm_start if isinstance(warm_start, TransportationBasis) else None,
+            )
+            extra = _LpExtra(
+                basis=result.basis,
+                warm_started=result.warm_started,
+                iterations=result.iterations,
+            )
+            return result.status, result.flow, result.objective, {}, extra
         lp = LinearProgram("dust-placement")
         variables: Dict[Tuple[int, int], object] = {}
         for i in range(m):
@@ -318,19 +355,19 @@ class PlacementEngine:
         )
         if integral:
             # scipy dispatches to HiGHS MILP; the from-scratch route is
-            # branch-and-bound over the simplex.
-            solver = (
-                solve_scipy
-                if self.lp_backend in ("scipy", "transportation")
-                else solve_branch_and_bound
-            )
+            # branch-and-bound over the simplex (which warm-starts its
+            # own child relaxations internally).
+            if self.lp_backend in ("scipy", "transportation"):
+                solution = solve_scipy(lp)
+            else:
+                solution = solve_branch_and_bound(lp)
+        elif self.lp_backend in ("scipy", "transportation"):
+            solution = solve_scipy(lp)
         else:
-            solver = (
-                solve_scipy
-                if self.lp_backend in ("scipy", "transportation")
-                else solve_simplex
+            solution = solve_simplex(
+                lp,
+                warm_start=warm_start if isinstance(warm_start, SimplexBasis) else None,
             )
-        solution = solver(lp)
         flow = np.zeros((m, n))
         if solution.status.is_optimal:
             for (i, j), var in variables.items():
@@ -340,11 +377,24 @@ class PlacementEngine:
             for name, value in solution.duals.items()
             if name.startswith("capacity_")
         }
-        return solution.status, flow, solution.objective, duals
+        extra = _LpExtra(
+            basis=solution.basis,
+            warm_started=solution.warm_started,
+            iterations=solution.iterations,
+        )
+        return solution.status, flow, solution.objective, duals, extra
 
     # -- public API ---------------------------------------------------------------------
-    def solve(self, problem: PlacementProblem) -> PlacementReport:
-        """Solve one placement instance to optimality (or infeasibility)."""
+    def solve(
+        self, problem: PlacementProblem, warm_start: object = None
+    ) -> PlacementReport:
+        """Solve one placement instance to optimality (or infeasibility).
+
+        ``warm_start`` is the ``lp_basis`` of a previous report for the
+        same busy/candidate sets (usually supplied by a
+        :class:`PlacementSession` rather than by hand). The optimum is
+        identical either way; only the pivot count changes.
+        """
         start = time.perf_counter()
         model = self._model_for(problem)
         m, n = len(problem.busy), len(problem.candidates)
@@ -383,15 +433,17 @@ class PlacementEngine:
 
         t1 = time.perf_counter()
         duals_by_index: Dict[int, float] = {}
+        extra = _LpExtra()
         if n == 0:
             status, flow, beta = SolveStatus.INFEASIBLE, np.zeros((m, 0)), float("nan")
         else:
-            status, flow, beta, duals_by_index = self._solve_lp(
+            status, flow, beta, duals_by_index, extra = self._solve_lp(
                 trmin,
                 problem.cs,
                 problem.cd,
                 coeff=problem.capacity_coefficients,
                 integral=problem.integral,
+                warm_start=warm_start,
             )
         lp_seconds = time.perf_counter() - t1
 
@@ -430,4 +482,79 @@ class PlacementEngine:
                 int(problem.candidates[j]): float(v)
                 for j, v in duals_by_index.items()
             },
+            lp_basis=extra.basis,
+            lp_warm_started=extra.warm_started,
+            lp_iterations=extra.iterations,
         )
+
+
+class PlacementSession:
+    """Stateful solve loop: route cache + LP warm basis, kept together.
+
+    PR 1's :class:`~repro.routing.engine.TrminEngine` already makes the
+    *pricing* step incremental across successive solves; this session
+    adds the matching reuse for the *LP* step, holding the last optimal
+    basis and feeding it back whenever the next problem has the same
+    busy/candidate sets (so the basis shape and lane structure match).
+    A perturbation of utilizations or capacities between re-solves —
+    the manager's periodic cycle, a sweep iteration — then pays only
+    for what actually changed: dirty routes are re-priced through the
+    engine's cache, and the LP re-converges from the previous tree in a
+    handful of pivots instead of a cold Vogel start.
+
+    Warm starts are **skipped** (the solve is simply cold) when the
+    busy/candidate sets differ from the previous solve, when the LP
+    runs on the scipy backend (HiGHS keeps no basis across calls), or
+    for integral problems (branch-and-bound warm-starts internally but
+    has no single reusable final basis). Feasibility and optima are
+    never affected — a stale basis is repaired or discarded inside the
+    solver.
+    """
+
+    def __init__(
+        self, engine: Optional[PlacementEngine] = None, **engine_kwargs: object
+    ) -> None:
+        self.engine = engine or PlacementEngine(**engine_kwargs)  # type: ignore[arg-type]
+        self._last_key: Optional[Tuple] = None
+        self._last_basis: object = None
+        #: Solves where a warm basis was offered to the LP.
+        self.warm_attempts = 0
+        #: Solves where the LP actually started from that basis.
+        self.warm_hits = 0
+
+    @property
+    def trmin_engine(self) -> TrminEngine:
+        return self.engine.trmin_engine
+
+    def _key(self, problem: PlacementProblem) -> Tuple:
+        return (
+            problem.busy,
+            problem.candidates,
+            problem.max_hops,
+            problem.integral,
+            problem.is_homogeneous,
+            self.engine.lp_backend,
+        )
+
+    def solve(self, problem: PlacementProblem) -> PlacementReport:
+        """Solve, warm-starting from the previous compatible basis."""
+        key = self._key(problem)
+        warm = self._last_basis if key == self._last_key else None
+        if warm is not None:
+            self.warm_attempts += 1
+        report = self.engine.solve(problem, warm_start=warm)
+        if report.lp_warm_started:
+            self.warm_hits += 1
+        if report.status.is_optimal and report.lp_basis is not None:
+            self._last_key = key
+            self._last_basis = report.lp_basis
+        else:
+            # Don't let a failed solve leave a misleading handle behind.
+            self._last_key = None
+            self._last_basis = None
+        return report
+
+    def reset(self) -> None:
+        """Drop the remembered basis (route cache is unaffected)."""
+        self._last_key = None
+        self._last_basis = None

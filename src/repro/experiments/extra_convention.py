@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.heuristic import solve_heuristic
 from repro.core.metrics import mean_hops
-from repro.core.placement import PlacementEngine, PlacementProblem
+from repro.core.placement import PlacementEngine, PlacementProblem, PlacementSession
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
 from repro.experiments.common import ExperimentResult, IterationSampler
@@ -36,6 +36,22 @@ def run(iterations: int = 60, k: int = 4, seed: int = 0) -> ExperimentResult:
         conv: {"feasible": 0, "hops": [], "hfr": [], "solved": 0}
         for conv in BandwidthConvention
     }
+    # One session per convention for the whole sweep, so consecutive
+    # iterations share the Trmin cache and LP warm-start state instead
+    # of rebuilding a cold PlacementEngine every time.
+    sessions = {
+        conv: PlacementSession(
+            engine=PlacementEngine(
+                response_model=ResponseTimeModel(
+                    convention=conv, engine=PathEngine.DP
+                ),
+            )
+        )
+        for conv in BandwidthConvention
+    }
+    heuristic_trmins = {
+        conv: sessions[conv].trmin_engine for conv in BandwidthConvention
+    }
     agreement = 0
     considered = 0
     for _, capacities in sampler.states(iterations):
@@ -54,12 +70,7 @@ def run(iterations: int = 60, k: int = 4, seed: int = 0) -> ExperimentResult:
         )
         destinations = {}
         for conv in BandwidthConvention:
-            engine = PlacementEngine(
-                response_model=ResponseTimeModel(
-                    convention=conv, engine=PathEngine.DP
-                ),
-            )
-            report = engine.solve(problem)
+            report = sessions[conv].solve(problem)
             bucket = stats[conv]
             bucket["solved"] += 1
             if report.feasible:
@@ -67,7 +78,11 @@ def run(iterations: int = 60, k: int = 4, seed: int = 0) -> ExperimentResult:
                 bucket["hops"].append(mean_hops(report))
                 destinations[conv] = frozenset(report.destinations())
             bucket["hfr"].append(
-                solve_heuristic(problem, convention=conv).hfr_pct
+                solve_heuristic(
+                    problem,
+                    convention=conv,
+                    trmin_engine=heuristic_trmins[conv],
+                ).hfr_pct
             )
         if len(destinations) == 2 and len(set(destinations.values())) == 1:
             agreement += 1

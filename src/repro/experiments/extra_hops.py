@@ -17,10 +17,11 @@ import numpy as np
 
 from repro.core.heuristic import solve_heuristic
 from repro.core.metrics import mean_hops
-from repro.core.placement import PlacementEngine, PlacementProblem
+from repro.core.placement import PlacementEngine, PlacementProblem, PlacementSession
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
 from repro.experiments.common import ExperimentResult, IterationSampler
+from repro.routing import TrminEngine
 from repro.routing.response_time import PathEngine, ResponseTimeModel
 from repro.topology.fattree import build_fat_tree
 
@@ -43,6 +44,19 @@ def run(
     per_budget_beta = {b: [] for b in budgets}
     heuristic_beta, heuristic_hfr = [], []
 
+    # One session per hop budget for the whole sweep: consecutive
+    # iterations reuse the Trmin cache and warm-start the LP basis
+    # instead of paying a cold engine per (iteration, budget) pair.
+    sessions = {
+        b: PlacementSession(
+            engine=PlacementEngine(
+                response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=b),
+            )
+        )
+        for b in budgets
+    }
+    heuristic_trmin = TrminEngine(ResponseTimeModel(engine=PathEngine.DP))
+
     for _, capacities in sampler.states(iterations):
         roles = classify_network(capacities, policy)
         busy, candidates = roles.busy, roles.candidates
@@ -57,14 +71,13 @@ def run(
             data_mb=np.full(len(busy), 10.0),
         )
         for budget in budgets:
-            engine = PlacementEngine(
-                response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=budget),
-            )
-            report = engine.solve(PlacementProblem(**base, max_hops=budget))
+            report = sessions[budget].solve(PlacementProblem(**base, max_hops=budget))
             if report.feasible and report.assignments:
                 per_budget_hops[budget].append(mean_hops(report))
                 per_budget_beta[budget].append(report.objective_beta)
-        heuristic = solve_heuristic(PlacementProblem(**base))
+        heuristic = solve_heuristic(
+            PlacementProblem(**base), trmin_engine=heuristic_trmin
+        )
         if heuristic.assignments:
             beta = sum(a.amount_pct * a.response_time_s for a in heuristic.assignments)
             heuristic_beta.append(beta)

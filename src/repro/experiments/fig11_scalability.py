@@ -19,10 +19,11 @@ import numpy as np
 
 from repro.core.heuristic import solve_heuristic
 from repro.core.metrics import fit_power_law
-from repro.core.placement import PlacementEngine, PlacementProblem
+from repro.core.placement import PlacementEngine, PlacementProblem, PlacementSession
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
 from repro.experiments.common import ExperimentResult, IterationSampler
+from repro.routing import TrminEngine
 from repro.routing.response_time import PathEngine, ResponseTimeModel
 from repro.topology.fattree import build_fat_tree
 
@@ -56,12 +57,15 @@ def scalability_point(
     policy = policy or ThresholdPolicy(c_max=80.0, co_max=35.0, x_min=10.0)
     topology = build_fat_tree(k)
     sampler = IterationSampler(topology, x_min=policy.x_min, seed=seed)
-    ilp_engine = PlacementEngine(
-        response_model=ResponseTimeModel(
-            engine=PathEngine.ENUMERATION, max_hops=ilp_max_hops
-        ),
-        with_routes=False,
+    ilp_session = PlacementSession(
+        engine=PlacementEngine(
+            response_model=ResponseTimeModel(
+                engine=PathEngine.ENUMERATION, max_hops=ilp_max_hops
+            ),
+            with_routes=False,
+        )
     )
+    heuristic_trmin = TrminEngine(ResponseTimeModel(engine=PathEngine.DP))
     hfrs, ilp_times, heuristic_times = [], [], []
     for _, capacities in sampler.states(iterations):
         roles = classify_network(capacities, policy)
@@ -77,11 +81,11 @@ def scalability_point(
             data_mb=np.full(len(busy), 10.0),
             max_hops=ilp_max_hops,
         )
-        heuristic = solve_heuristic(problem)
+        heuristic = solve_heuristic(problem, trmin_engine=heuristic_trmin)
         hfrs.append(heuristic.hfr_pct)
         heuristic_times.append(heuristic.total_seconds)
         if run_ilp:
-            ilp_times.append(ilp_engine.solve(problem).total_seconds)
+            ilp_times.append(ilp_session.solve(problem).total_seconds)
     return (
         float(np.mean(hfrs)) if hfrs else float("nan"),
         float(np.mean(ilp_times)) if ilp_times else float("nan"),

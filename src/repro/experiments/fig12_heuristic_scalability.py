@@ -21,6 +21,7 @@ from repro.core.placement import PlacementProblem
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
 from repro.experiments.common import ExperimentResult, IterationSampler
+from repro.routing import PathEngine, ResponseTimeModel, TrminEngine
 from repro.topology.fattree import build_fat_tree
 
 DEFAULT_SCALES: Tuple[Tuple[int, int], ...] = ((4, 10), (8, 5), (16, 3), (64, 1))
@@ -36,6 +37,9 @@ def heuristic_time_at_scale(
     policy = policy or ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
     topology = build_fat_tree(k)
     sampler = IterationSampler(topology, x_min=policy.x_min, seed=seed)
+    # Shared across iterations at this scale so lane pricing reuses the
+    # version-cached Trmin matrices instead of re-deriving them per state.
+    trmin = TrminEngine(ResponseTimeModel(engine=PathEngine.DP))
     times, hfrs, busy_count = [], [], 0
     for _, capacities in sampler.states(iterations):
         roles = classify_network(capacities, policy)
@@ -51,7 +55,7 @@ def heuristic_time_at_scale(
             cd=np.array([policy.spare_capacity(capacities[c]) for c in candidates]),
             data_mb=np.full(len(busy), 10.0),
         )
-        report = solve_heuristic(problem)
+        report = solve_heuristic(problem, trmin_engine=trmin)
         times.append(report.total_seconds)
         hfrs.append(report.hfr_pct)
     return (

@@ -18,7 +18,7 @@ from repro.core.metrics import (
     categorize_iteration,
     summarize_categories,
 )
-from repro.core.placement import PlacementEngine, PlacementProblem
+from repro.core.placement import PlacementEngine, PlacementProblem, PlacementSession
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
 from repro.experiments.common import ExperimentResult, IterationSampler
@@ -39,9 +39,11 @@ def run(
     policy = ThresholdPolicy(c_max=c_max, co_max=co_max, x_min=x_min)
     topology = build_fat_tree(4)
     sampler = IterationSampler(topology, x_min=x_min, seed=seed)
-    ilp_engine = PlacementEngine(
-        response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops),
-        with_routes=False,
+    ilp_session = PlacementSession(
+        engine=PlacementEngine(
+            response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops),
+            with_routes=False,
+        )
     )
     categories = []
     hfrs = []
@@ -60,8 +62,8 @@ def run(
             data_mb=np.full(len(busy), 10.0),
             max_hops=max_hops,
         )
-        heuristic = solve_heuristic(problem)
-        ilp = ilp_engine.solve(problem)
+        heuristic = solve_heuristic(problem, trmin_engine=ilp_session.trmin_engine)
+        ilp = ilp_session.solve(problem)
         categories.append(categorize_iteration(heuristic, ilp))
         hfrs.append(heuristic.hfr_pct)
     summary = summarize_categories(categories)

@@ -22,7 +22,7 @@ from repro.lp.branch_and_bound import solve_branch_and_bound
 from repro.lp.model import INF, Constraint, LinearProgram, LinExpr, Variable, lp_sum
 from repro.lp.result import Solution, SolveStatus
 from repro.lp.scipy_backend import solve_scipy
-from repro.lp.simplex import solve_simplex
+from repro.lp.simplex import SimplexBasis, solve_simplex
 from repro.lp.verify import (
     Verification,
     check_feasibility,
@@ -30,6 +30,7 @@ from repro.lp.verify import (
     verify_solution,
 )
 from repro.lp.transportation import (
+    TransportationBasis,
     TransportationProblem,
     TransportationResult,
     solve_transportation,
@@ -40,8 +41,10 @@ __all__ = [
     "Constraint",
     "LinExpr",
     "LinearProgram",
+    "SimplexBasis",
     "Solution",
     "SolveStatus",
+    "TransportationBasis",
     "TransportationProblem",
     "TransportationResult",
     "Variable",

@@ -11,6 +11,16 @@ classic LP-relaxation branch and bound:
 * if some integer variable is fractional, branch on the most
   fractional one with ``floor``/``ceil`` bound splits;
 * prune nodes whose relaxation bound cannot beat the incumbent.
+
+Child relaxations warm-start from their parent's optimal basis. A
+child differs from its parent only in one variable's bound — the exact
+parametric case the simplex backend's dual re-optimization handles: the
+parent's optimal tableau stays *dual*-feasible, so the child only needs
+the few dual pivots that restore primal feasibility, instead of a full
+cold two-phase solve (a primal crash of the parent basis cannot work
+here: the parent optimum violates the child's new bound by
+construction). ``Solution.total_pivots`` reports simplex pivots summed
+over the whole tree — the quantity the warm start shrinks.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.lp.model import INF, LinearProgram
 from repro.lp.result import Solution, SolveStatus
-from repro.lp.simplex import solve_simplex
+from repro.lp.simplex import SimplexBasis, solve_simplex
 
 _INT_TOL = 1e-6
 
@@ -33,6 +43,9 @@ class _Node:
 
     bounds: Dict[str, Tuple[float, float]]
     depth: int
+    #: Parent's optimal basis (tableau handle included), used to
+    #: warm-start this node's relaxation. ``None`` at the root.
+    basis_hint: Optional[SimplexBasis] = None
 
 
 def _clone_with_bounds(
@@ -91,8 +104,14 @@ def solve_branch_and_bound(
     program: LinearProgram,
     max_nodes: int = 10_000,
     gap_tol: float = 1e-9,
+    warm_start: bool = True,
 ) -> Solution:
-    """Exact MILP solve; falls back to a single LP when no var is integer."""
+    """Exact MILP solve; falls back to a single LP when no var is integer.
+
+    ``warm_start=False`` disables the parent-basis crash in child
+    relaxations (every node runs a cold two-phase solve) — kept for the
+    benchmark's cold baseline and for debugging pivot-count diffs.
+    """
     start = time.perf_counter()
     if not program.has_integer_variables:
         sol = solve_simplex(program)
@@ -103,24 +122,29 @@ def solve_branch_and_bound(
             backend="branch-and-bound",
             iterations=sol.iterations,
             solve_time=time.perf_counter() - start,
+            basis=sol.basis,
+            total_pivots=sol.total_pivots,
         )
 
     incumbent: Optional[Solution] = None
     incumbent_obj = math.inf
     stack: List[_Node] = [_Node(bounds={}, depth=0)]
     explored = 0
+    total_pivots = 0
 
     while stack and explored < max_nodes:
         node = stack.pop()
         explored += 1
         relaxed = _clone_with_bounds(program, node.bounds)
-        sol = solve_simplex(relaxed)
+        sol = solve_simplex(relaxed, warm_start=node.basis_hint if warm_start else None)
+        total_pivots += sol.total_pivots or sol.iterations
         if sol.status is SolveStatus.UNBOUNDED and not node.bounds:
             return Solution(
                 status=SolveStatus.UNBOUNDED,
                 backend="branch-and-bound",
                 iterations=explored,
                 solve_time=time.perf_counter() - start,
+                total_pivots=total_pivots,
             )
         if not sol.status.is_optimal:
             continue  # infeasible subtree (or pathological) — prune
@@ -139,12 +163,23 @@ def solve_branch_and_bound(
         down[name] = (lo, min(hi, float(floor_v)))
         up = dict(node.bounds)
         up[name] = (max(lo, float(ceil_v)), hi)
+        # Children differ from the parent only in one variable's bound,
+        # exactly the dual-restart case: hand down the parent's full
+        # tableau handle. The crash-fallback names drop the branch
+        # variable — the parent optimum violates both children's new
+        # bound, so a primal crash including it could never be feasible.
+        hint: Optional[SimplexBasis] = None
+        if warm_start and isinstance(sol.basis, SimplexBasis):
+            hint = SimplexBasis(
+                names=tuple(b for b in sol.basis.names if b != name),
+                handle=sol.basis.handle,
+            )
         # DFS: push the "down" branch last so it is explored first —
         # rounding down tends to stay feasible for packing problems.
         if up[name][0] <= up[name][1] + 1e-12:
-            stack.append(_Node(bounds=up, depth=node.depth + 1))
+            stack.append(_Node(bounds=up, depth=node.depth + 1, basis_hint=hint))
         if down[name][0] <= down[name][1] + 1e-12:
-            stack.append(_Node(bounds=down, depth=node.depth + 1))
+            stack.append(_Node(bounds=down, depth=node.depth + 1, basis_hint=hint))
 
     elapsed = time.perf_counter() - start
     if incumbent is None:
@@ -154,6 +189,7 @@ def solve_branch_and_bound(
             backend="branch-and-bound",
             iterations=explored,
             solve_time=elapsed,
+            total_pivots=total_pivots,
         )
     return Solution(
         status=SolveStatus.OPTIMAL,
@@ -163,4 +199,5 @@ def solve_branch_and_bound(
         backend="branch-and-bound",
         iterations=explored,
         solve_time=elapsed,
+        total_pivots=total_pivots,
     )

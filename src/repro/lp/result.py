@@ -61,6 +61,19 @@ class Solution:
     #: continuous LPs). For a `<=` capacity row the dual is ≤ 0: the
     #: objective decreases by |dual| per unit of extra capacity.
     duals: Mapping[str, float] = field(default_factory=dict)
+    #: Backend-specific warm-start handle for the next solve: the
+    #: transportation backend stores its final
+    #: :class:`~repro.lp.transportation.TransportationBasis`, the dense
+    #: simplex a tuple of basic variable names. ``None`` when the
+    #: backend has nothing reusable (non-optimal exit, scipy backend).
+    basis: object = None
+    #: Sum of simplex pivots across every relaxation a composite solver
+    #: ran (branch-and-bound reports the whole tree here); equals
+    #: :attr:`iterations` for single-solve backends that set it.
+    total_pivots: int = 0
+    #: True when the backend actually started from a supplied warm
+    #: basis; False when no hint was given or the hint was rejected.
+    warm_started: bool = False
 
     def __getitem__(self, name: str) -> float:
         """Convenience accessor: ``solution["x_0_1"]``."""

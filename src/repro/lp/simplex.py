@@ -19,6 +19,23 @@ Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
 The implementation is vectorized row/column-wise with numpy per the
 HPC guide: the inner pivot is two BLAS-level operations, not a Python
 loop over the tableau.
+
+Warm starts come in two strengths, both carried by the
+:class:`SimplexBasis` a successful solve returns in ``Solution.basis``:
+
+* **Dual re-optimization** — when the new program shares the previous
+  one's exact structure (same variables, same constraint matrix, same
+  objective; only bounds/RHS changed — precisely a branch-and-bound
+  child or a parametric re-solve), the stored optimal tableau is still
+  *dual-feasible*: only its RHS column needs recomputing (through the
+  B⁻¹ block the initial identity columns carry), after which a few dual
+  simplex pivots restore primal feasibility. No Phase 1 at all.
+* **Primal crash** — otherwise, the remembered basic variable *names*
+  are pivoted into a fresh tableau, replacing Phase 1 when the crashed
+  vertex happens to be feasible.
+
+Either path falls back to the cold two-phase solve on any mismatch, so
+a warm start can change pivot counts but never the optimum.
 """
 
 from __future__ import annotations
@@ -26,7 +43,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +55,10 @@ _EPS = 1e-9
 #: Dantzig pivoting switches to Bland's rule after this many iterations
 #: per (rows+cols) unit, a pragmatic anti-cycling safeguard.
 _BLAND_SWITCH_FACTOR = 4
+#: Minimum pivot magnitude accepted while crashing a warm basis.
+_CRASH_TOL = 1e-8
+#: Post-crash feasibility tolerance on the RHS column.
+_CRASH_FEAS_TOL = 1e-7
 
 
 @dataclass
@@ -55,6 +76,38 @@ class _Tableau:
     @property
     def num_cols(self) -> int:
         return self.T.shape[1] - 1
+
+
+@dataclass(frozen=True)
+class _WarmHandle:
+    """Internal warm-start payload: the final optimal tableau plus the
+    structural data needed to re-target it at a sibling program."""
+
+    T: np.ndarray  # final tableau (constraint rows + cost row)
+    basis: np.ndarray  # basic column per row
+    id_cols: np.ndarray  # initial identity column per row (B^-1 block)
+    sign: np.ndarray  # ±1 row normalization applied at build time
+    n: int  # structural column count
+    artificial_mask: np.ndarray
+    c: np.ndarray  # structural objective the tableau was priced with
+    A_ub: np.ndarray
+    A_eq: np.ndarray
+    upper_finite: Tuple[int, ...]  # which vars contributed an upper-bound row
+
+
+@dataclass(frozen=True)
+class SimplexBasis:
+    """Warm-start handle returned in ``Solution.basis`` by the simplex.
+
+    ``names`` lists the basic structural variables at the optimum — a
+    cheap, human-readable hint usable across any same-named program via
+    the primal crash. ``handle`` additionally carries the exact optimal
+    tableau, enabling the much stronger dual re-optimization when the
+    next program differs only in bounds/RHS (branch-and-bound children,
+    parametric re-solves)."""
+
+    names: Tuple[str, ...]
+    handle: Optional[_WarmHandle] = None
 
 
 def _pivot(tab: _Tableau, row: int, col: int) -> None:
@@ -114,13 +167,10 @@ def _run_simplex(tab: _Tableau, allowed: np.ndarray, max_iter: int) -> Tuple[str
     return "iteration_limit", max_iter
 
 
-def _build_tableau(dense: DenseForm) -> Tuple[_Tableau, int, np.ndarray, np.ndarray]:
-    """Assemble the Phase-1 tableau from a dense LP form.
-
-    Returns (tableau, n_structural, shift, artificial_mask) where
-    ``shift`` is the lower-bound offset applied to each structural
-    variable and ``artificial_mask`` flags artificial columns.
-    """
+def _assemble_rows(dense: DenseForm) -> Tuple[List[np.ndarray], List[float], List[str]]:
+    """Constraint rows in canonical order, *before* sign normalization:
+    ``A_ub`` rows, then ``A_eq`` rows, then one ``x_j <= upper - lower``
+    row per finite upper bound. RHS is lower-bound shifted."""
     n = dense.c.size
     lower = dense.lower
     upper = dense.upper
@@ -129,36 +179,51 @@ def _build_tableau(dense: DenseForm) -> Tuple[_Tableau, int, np.ndarray, np.ndar
             "simplex backend requires finite lower bounds; free variables "
             "should be split before lowering"
         )
+    shift = lower
 
     rows: List[np.ndarray] = []
     rhs: List[float] = []
     senses: List[str] = []
-
-    shift = lower.copy()
-
-    def _shifted_rhs(row: np.ndarray, b: float) -> float:
-        return b - float(row @ shift)
-
     for row, b in zip(dense.A_ub, dense.b_ub):
         rows.append(row.copy())
-        rhs.append(_shifted_rhs(row, b))
+        rhs.append(b - float(row @ shift))
         senses.append("<=")
     for row, b in zip(dense.A_eq, dense.b_eq):
         rows.append(row.copy())
-        rhs.append(_shifted_rhs(row, b))
+        rhs.append(b - float(row @ shift))
         senses.append("==")
-    # Finite upper bounds become x_j <= upper - lower rows.
     for j in np.flatnonzero(np.isfinite(upper)):
         row = np.zeros(n)
         row[j] = 1.0
         rows.append(row)
         rhs.append(float(upper[j] - lower[j]))
         senses.append("<=")
+    return rows, rhs, senses
+
+
+def _build_tableau(
+    dense: DenseForm,
+) -> Tuple[_Tableau, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble the Phase-1 tableau from a dense LP form.
+
+    Returns (tableau, n_structural, shift, artificial_mask, sign,
+    id_cols) where ``shift`` is the lower-bound offset applied to each
+    structural variable, ``artificial_mask`` flags artificial columns,
+    ``sign`` records the ±1 row normalization applied to make every RHS
+    non-negative, and ``id_cols[i]`` is the column that started as the
+    identity unit of row ``i`` (the final tableau's B⁻¹ lives in those
+    columns — the key to dual warm restarts).
+    """
+    n = dense.c.size
+    shift = dense.lower.copy()
+    rows, rhs, senses = _assemble_rows(dense)
 
     m = len(rows)
+    sign = np.ones(m)
     # Normalize: make all RHS non-negative.
     for i in range(m):
         if rhs[i] < 0:
+            sign[i] = -1.0
             rows[i] = -rows[i]
             rhs[i] = -rhs[i]
             if senses[i] == "<=":
@@ -196,15 +261,162 @@ def _build_tableau(dense: DenseForm) -> Tuple[_Tableau, int, np.ndarray, np.ndar
             basis[i] = art_at
             art_at += 1
 
-    return _Tableau(T=T, basis=basis), n, shift, artificial_mask
+    id_cols = basis.copy()  # each row's initial basic column is its identity unit
+    return _Tableau(T=T, basis=basis), n, shift, artificial_mask, sign, id_cols
 
 
-def solve_simplex(program: LinearProgram, max_iter: int = 100_000) -> Solution:
+def _crash_warm_basis(
+    tab: _Tableau, hint_cols: Sequence[int], artificial_mask: np.ndarray
+) -> Optional[int]:
+    """Pivot the hinted structural columns into the basis, replacing
+    Phase 1 when the result is primal-feasible.
+
+    For each hinted column not yet basic, Gauss–Jordan pivots it in on
+    the row with the largest admissible pivot magnitude, preferring
+    rows currently held by an artificial (those are the rows a warm
+    basis must reclaim). Any artificial left basic is driven out on a
+    degenerate row; if one carries real value, or the crashed RHS goes
+    negative, the crash is rejected and the caller falls back to a cold
+    Phase 1 — so a bad hint costs pivots, never correctness.
+
+    Returns the number of pivots performed, or ``None`` on rejection.
+    """
+    pivots = 0
+    hinted = set(int(c) for c in hint_cols)
+    basic = set(int(b) for b in tab.basis)
+    for col in hint_cols:
+        col = int(col)
+        if col in basic:
+            continue
+        column = tab.T[:-1, col]
+        best_row = -1
+        best_key = (False, _CRASH_TOL)
+        for i in range(tab.num_rows):
+            b = int(tab.basis[i])
+            if b in hinted:
+                continue  # never evict another hinted variable
+            magnitude = abs(float(column[i]))
+            if magnitude <= _CRASH_TOL:
+                continue
+            key = (bool(artificial_mask[b]), magnitude)
+            if key > best_key:
+                best_key = key
+                best_row = i
+        if best_row < 0:
+            continue  # hint is linearly dependent on the rest — skip it
+        basic.discard(int(tab.basis[best_row]))
+        basic.add(col)
+        _pivot(tab, best_row, col)
+        pivots += 1
+    # Drive out any artificial still basic; it must sit on a degenerate
+    # row (value ~0) or the warm basis does not cover the equalities.
+    for i in range(tab.num_rows):
+        b = int(tab.basis[i])
+        if not artificial_mask[b]:
+            continue
+        if abs(float(tab.T[i, -1])) > _CRASH_FEAS_TOL:
+            return None
+        row = tab.T[i, :-1]
+        candidates = np.flatnonzero((~artificial_mask) & (np.abs(row) > _EPS))
+        if not candidates.size:
+            return None
+        _pivot(tab, i, int(candidates[0]))
+        pivots += 1
+    rhs = tab.T[:-1, -1]
+    if (rhs < -_CRASH_FEAS_TOL).any():
+        return None  # hinted basis is not primal-feasible here
+    np.maximum(rhs, 0.0, out=rhs)
+    return pivots
+
+
+def _run_dual_simplex(tab: _Tableau, allowed: np.ndarray, max_iter: int) -> Tuple[str, int]:
+    """Dual simplex: restore primal feasibility while reduced costs
+    stay non-negative. Assumes the incoming tableau is dual-feasible
+    (it came from an optimal solve of a sibling program).
+
+    Leaving row: most negative RHS. Entering column: minimum dual ratio
+    ``reduced_cost / -pivot`` over allowed columns with a negative
+    entry; first-index tie-break. A row with no negative entry proves
+    primal infeasibility.
+    """
+    for iteration in range(max_iter):
+        rhs = tab.T[:-1, -1]
+        row = int(np.argmin(rhs))
+        if rhs[row] >= -_CRASH_FEAS_TOL:
+            np.maximum(rhs, 0.0, out=rhs)
+            return "optimal", iteration
+        line = tab.T[row, :-1]
+        eligible = allowed & (line < -_EPS)
+        if not eligible.any():
+            return "infeasible", iteration
+        cols = np.flatnonzero(eligible)
+        reduced = np.maximum(tab.T[-1, :-1][cols], 0.0)
+        ratios = reduced / -line[cols]
+        col = int(cols[np.argmin(ratios)])  # first min = lowest index tie-break
+        _pivot(tab, row, col)
+    return "iteration_limit", max_iter
+
+
+def _dual_reoptimize(
+    handle: _WarmHandle, dense: DenseForm, max_iter: int
+) -> Optional[Tuple[str, _Tableau, int]]:
+    """Re-target a stored optimal tableau at a program that differs only
+    in bounds/RHS, then dual-simplex back to primal feasibility.
+
+    The stored tableau is some row-operation image of the original
+    build; the initial identity columns therefore hold exactly those
+    row operations, so the new RHS column (including the objective
+    cell) is one matrix-vector product away. Returns ``None`` when the
+    structures differ or the dual pass gives up — callers fall back to
+    the cold two-phase solve; correctness never depends on this path.
+    """
+    n = handle.n
+    if dense.c.size != n or not np.array_equal(dense.c, handle.c):
+        return None
+    if tuple(np.flatnonzero(np.isfinite(dense.upper))) != handle.upper_finite:
+        return None
+    if dense.A_ub.shape != handle.A_ub.shape or dense.A_eq.shape != handle.A_eq.shape:
+        return None
+    if not (np.array_equal(dense.A_ub, handle.A_ub) and np.array_equal(dense.A_eq, handle.A_eq)):
+        return None
+    if not np.all(np.isfinite(dense.lower)):
+        return None
+
+    _, rhs_raw, _ = _assemble_rows(dense)
+    rhs_new = handle.sign * np.asarray(rhs_raw)
+    T = handle.T.copy()
+    # B^-1 (and the cost row's multipliers) live in the identity columns.
+    T[:, -1] = T[:, handle.id_cols] @ rhs_new
+    tab = _Tableau(T=T, basis=handle.basis.copy())
+    status, iters = _run_dual_simplex(tab, ~handle.artificial_mask, max_iter)
+    if status == "optimal":
+        # A basic artificial carrying real value means the re-targeted
+        # point violates an original equality — not trustworthy.
+        for i, b in enumerate(tab.basis):
+            if handle.artificial_mask[b] and abs(float(tab.T[i, -1])) > _CRASH_FEAS_TOL:
+                return None
+    elif status == "iteration_limit":
+        return None
+    return status, tab, iters
+
+
+def solve_simplex(
+    program: LinearProgram,
+    max_iter: int = 100_000,
+    warm_start: Optional[object] = None,
+) -> Solution:
     """Solve a continuous LP with the from-scratch two-phase simplex.
 
     Integer variables are relaxed; use
     :func:`repro.lp.branch_and_bound.solve_branch_and_bound` for true
     integrality.
+
+    ``warm_start`` is either the :class:`SimplexBasis` of a previous
+    solve (dual re-optimization when the program shares the previous
+    structure, primal crash of the remembered names otherwise) or a
+    bare sequence of variable names (crash only). Stale or mismatched
+    hints are discarded — the solve then proceeds cold, so the returned
+    optimum never depends on the hint. Unknown names are ignored.
     """
     start = time.perf_counter()
     dense = program.to_dense()
@@ -219,11 +431,59 @@ def solve_simplex(program: LinearProgram, max_iter: int = 100_000) -> Solution:
             solve_time=time.perf_counter() - start,
         )
 
-    tab, n, shift, artificial_mask = _build_tableau(dense)
+    # ---- Warm start: dual re-optimization of a stored tableau --------------
+    tab: Optional[_Tableau] = None
     total_iters = 0
+    warm_used = False
+    hint_names: Optional[Sequence[str]] = None
+    if isinstance(warm_start, SimplexBasis):
+        hint_names = warm_start.names
+        if warm_start.handle is not None:
+            attempt = _dual_reoptimize(warm_start.handle, dense, max_iter)
+            if attempt is not None:
+                dual_status, dual_tab, dual_iters = attempt
+                if dual_status == "infeasible":
+                    return Solution(
+                        status=SolveStatus.INFEASIBLE,
+                        backend="simplex",
+                        iterations=dual_iters,
+                        solve_time=time.perf_counter() - start,
+                        total_pivots=dual_iters,
+                        warm_started=True,
+                    )
+                handle = warm_start.handle
+                tab = dual_tab
+                n = handle.n
+                shift = dense.lower.copy()
+                artificial_mask = handle.artificial_mask
+                sign = handle.sign
+                id_cols = handle.id_cols
+                total_iters = dual_iters
+                warm_used = True
+                phase1_needed = False  # dual tableau is already feasible
+    elif warm_start is not None:
+        hint_names = warm_start  # bare sequence of names
+
+    if tab is None:
+        tab, n, shift, artificial_mask, sign, id_cols = _build_tableau(dense)
+
+        # ---- Phase 0: crash the warm-start basis, if one was offered -------
+        phase1_needed = artificial_mask.any()
+        if hint_names and phase1_needed:
+            name_to_col = {name: j for j, name in enumerate(dense.variable_names)}
+            hint_cols = [name_to_col[name] for name in hint_names if name in name_to_col]
+            if hint_cols:
+                crash_pivots = _crash_warm_basis(tab, hint_cols, artificial_mask)
+                if crash_pivots is None:
+                    # Crash mutated the tableau; rebuild for a cold Phase 1.
+                    tab, n, shift, artificial_mask, sign, id_cols = _build_tableau(dense)
+                else:
+                    total_iters += crash_pivots
+                    warm_used = True
+                    phase1_needed = False
 
     # ---- Phase 1: minimize sum of artificials ------------------------------
-    if artificial_mask.any():
+    if phase1_needed:
         phase1_cost = np.zeros(tab.T.shape[1])
         phase1_cost[:-1][artificial_mask] = 1.0
         tab.T[-1, :] = phase1_cost
@@ -292,6 +552,25 @@ def solve_simplex(program: LinearProgram, max_iter: int = 100_000) -> Solution:
     values = {name: float(values_arr[j]) for j, name in enumerate(dense.variable_names)}
     objective = float(dense.c @ values_arr) + float(program.objective.constant)
 
+    # Warm-start handle for the next solve: the basic structural names
+    # (crashable into any same-named program) plus the exact optimal
+    # tableau (dual-restartable by same-structure siblings).
+    basis = SimplexBasis(
+        names=tuple(sorted(dense.variable_names[b] for b in tab.basis if b < n)),
+        handle=_WarmHandle(
+            T=tab.T.copy(),
+            basis=tab.basis.copy(),
+            id_cols=id_cols,
+            sign=sign,
+            n=n,
+            artificial_mask=artificial_mask,
+            c=dense.c.copy(),
+            A_ub=dense.A_ub.copy(),
+            A_eq=dense.A_eq.copy(),
+            upper_finite=tuple(np.flatnonzero(np.isfinite(dense.upper))),
+        ),
+    )
+
     return Solution(
         status=SolveStatus.OPTIMAL,
         objective=objective,
@@ -299,4 +578,7 @@ def solve_simplex(program: LinearProgram, max_iter: int = 100_000) -> Solution:
         backend="simplex",
         iterations=total_iters,
         solve_time=time.perf_counter() - start,
+        basis=basis,
+        total_pivots=total_iters,
+        warm_started=warm_used,
     )

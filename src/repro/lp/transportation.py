@@ -1,4 +1,4 @@
-"""Exact transportation-problem solver (north-west corner + MODI).
+"""Exact transportation-problem solver (Vogel + array-tree MODI, warm-startable).
 
 The DUST placement program (paper Eq. 3) is a *transportation problem*:
 
@@ -9,22 +9,45 @@ The DUST placement program (paper Eq. 3) is a *transportation problem*:
 
 This module solves it directly: the demand inequality is balanced with a
 dummy supply row that absorbs leftover destination capacity at zero
-cost, the initial basic feasible solution comes from the north-west
-corner rule, and optimality is reached with MODI (u/v multiplier)
-iterations, i.e. the network-simplex specialization for bipartite
+cost, the initial basic feasible solution comes from Vogel's
+approximation (far fewer pivots than the north-west corner it
+replaced), and optimality is reached with MODI (u/v multiplier)
+iterations — the network-simplex specialization for bipartite
 transportation graphs. Pairs with no admissible route (hop-bounded path
 absent) are modeled with a Big-M cost and rejected post-hoc if they
 carry flow.
 
+The basis is a spanning tree of the bipartite supply/demand graph and
+is represented with flat index arrays (``parent``/``depth``/per-node
+basic cell) rather than per-iteration ``defaultdict`` BFS: reduced-cost
+pricing is one vectorized matrix expression over the whole cost matrix,
+and the pivot cycle is traced in O(tree depth) by walking parent
+pointers from the entering cell's endpoints to their lowest common
+ancestor.
+
+Warm starts: every optimal solve returns its final basis as a
+:class:`TransportationBasis`; passing it back via
+``solve_transportation(..., warm_start=basis)`` re-prices from that
+tree instead of building a cold one. A stale basis (perturbed supplies,
+demands or costs — e.g. the manager's periodic re-solve after
+utilization drift) is *repaired*: cells that no longer fit the instance
+are dropped, the forest is completed to a spanning tree with
+cheapest-cost connectors, and flows are recomputed by leaf elimination.
+If the repaired tree is primal-infeasible (a recomputed flow would be
+negative) the solver silently falls back to the Vogel cold start, so a
+warm-started call can never return a different optimum than a cold one.
+
 Complexity per MODI iteration is Θ(m·n) for pricing plus O(m+n) for the
-cycle pivot, far below the general dense simplex — this is one of the
-repo's ablation axes (``benchmarks/bench_ablation_lp.py``).
+tree walk and O(depth) for the cycle pivot, far below the general dense
+simplex — this is one of the repo's ablation axes
+(``benchmarks/bench_ablation_lp.py``; warm-vs-cold numbers live in
+``benchmarks/bench_lp_warmstart.py`` → ``BENCH_lp.json``).
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict, deque
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +57,10 @@ from repro.errors import SolverError
 from repro.lp.result import Solution, SolveStatus
 
 _EPS = 1e-9
+#: Relative optimality tolerance on reduced costs.
+_OPT_TOL = 1e-7
+#: A repaired warm-start flow below this is primal-infeasible.
+_FEAS_TOL = 1e-7
 
 
 @dataclass(frozen=True)
@@ -79,20 +106,41 @@ class TransportationProblem:
 
 
 @dataclass(frozen=True)
+class TransportationBasis:
+    """An optimal (or at least basic) spanning tree, reusable as a warm start.
+
+    ``cells`` live in *balanced* coordinates: row ``m`` (when ``dummy``)
+    is the slack supply row absorbing spare destination capacity. A
+    basis is only meaningful for instances of the same ``(m, n)`` shape;
+    :func:`solve_transportation` ignores mismatched warm starts.
+    """
+
+    shape: Tuple[int, int]  # (m, n) of the real problem
+    dummy: bool  # balanced instance carried a dummy supply row
+    cells: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
 class TransportationResult:
     """Optimal flow for a :class:`TransportationProblem`."""
 
     status: SolveStatus
     flow: np.ndarray  # (m, n); zeros when not optimal
     objective: float
-    iterations: int
+    iterations: int  # MODI pivots performed
     solve_time: float
+    #: Final basis tree when optimal — feed back as ``warm_start=``.
+    basis: Optional[TransportationBasis] = None
+    #: True when the solve actually started from a repaired warm basis.
+    warm_started: bool = False
 
     def to_solution(self, name_of: Optional[Sequence[Sequence[str]]] = None) -> Solution:
         """Convert to the generic :class:`~repro.lp.result.Solution`.
 
         ``name_of[i][j]`` supplies the variable name for lane (i, j);
-        defaults to ``x_{i}_{j}``.
+        defaults to ``x_{i}_{j}``. The final basis rides along in
+        ``Solution.basis`` so callers holding the generic container can
+        still warm-start the next solve.
         """
         values: Dict[str, float] = {}
         if self.status.is_optimal:
@@ -108,148 +156,322 @@ class TransportationResult:
             backend="transportation",
             iterations=self.iterations,
             solve_time=self.solve_time,
+            basis=self.basis,
+            total_pivots=self.iterations,
+            warm_started=self.warm_started,
         )
 
 
-def _northwest_corner(
-    supply: np.ndarray, demand: np.ndarray
-) -> Tuple[Dict[Tuple[int, int], float], List[Tuple[int, int]]]:
-    """North-west corner initial BFS on a *balanced* instance.
+# -- cold start: Vogel's approximation ---------------------------------------------
 
-    Returns the flow on basic cells and the ordered basis list, padded
-    with degenerate (zero-flow) cells so the basis always spans
-    ``m + n - 1`` cells (a spanning tree of the bipartite graph).
+
+def _vogel_basis(
+    supply: np.ndarray, demand: np.ndarray, cost: np.ndarray
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Vogel initial BFS on a *balanced* instance.
+
+    Classic crossing-out scheme: each step commits the cheapest cell of
+    the line (row or column) with the largest regret (gap between its
+    two cheapest costs) and crosses out exactly one exhausted line, so
+    the chosen cells always number ``m + n - 1`` and form a spanning
+    tree — degenerate zero-flow cells included.
     """
-    m, n = supply.size, demand.size
-    s = supply.copy()
-    d = demand.copy()
-    flow: Dict[Tuple[int, int], float] = {}
-    basis: List[Tuple[int, int]] = []
-    i = j = 0
-    while i < m and j < n:
+    m, n = cost.shape
+    s = supply.astype(float).copy()
+    d = demand.astype(float).copy()
+    work = cost.astype(float).copy()  # inf marks crossed-out lines
+    row_active = np.ones(m, dtype=bool)
+    col_active = np.ones(n, dtype=bool)
+    flow = np.zeros((m, n))
+    cells: List[Tuple[int, int]] = []
+
+    def _penalties(matrix: np.ndarray, axis: int) -> np.ndarray:
+        """Gap between the two smallest entries along ``axis`` (inf when
+        fewer than two finite entries remain — such lines are forced)."""
+        k = matrix.shape[axis]
+        if k == 1:
+            return matrix.min(axis=axis)
+        two = np.partition(matrix, 1, axis=axis).take([0, 1], axis=axis)
+        with np.errstate(invalid="ignore"):  # inf - inf on crossed-out lines
+            return two.take(1, axis=axis) - two.take(0, axis=axis)
+
+    for _ in range(m + n - 1):
+        rows_left = int(row_active.sum())
+        cols_left = int(col_active.sum())
+        if rows_left == 0 or cols_left == 0:  # pragma: no cover - balance guard
+            raise SolverError("Vogel crossed out all lines before spanning")
+        row_pen = _penalties(work, axis=1)
+        col_pen = _penalties(work, axis=0)
+        row_pen = np.where(row_active, row_pen, -np.inf)
+        col_pen = np.where(col_active, col_pen, -np.inf)
+        # inf - inf from a fully crossed-out line would poison argmax.
+        row_pen = np.nan_to_num(row_pen, nan=-np.inf)
+        col_pen = np.nan_to_num(col_pen, nan=-np.inf)
+        br, bc = int(np.argmax(row_pen)), int(np.argmax(col_pen))
+        if row_pen[br] >= col_pen[bc]:
+            i = br
+            j = int(np.argmin(work[i]))
+        else:
+            j = bc
+            i = int(np.argmin(work[:, j]))
         moved = min(s[i], d[j])
-        flow[(i, j)] = moved
-        basis.append((i, j))
+        flow[i, j] = moved
+        cells.append((i, j))
         s[i] -= moved
         d[j] -= moved
-        if i == m - 1 and j == n - 1:
-            break
-        if s[i] <= _EPS and i < m - 1:
-            i += 1
+        # Cross out exactly one line; `min` returns one operand bit-exact
+        # so at least one side reaches 0.0 exactly.
+        if s[i] <= _EPS and d[j] <= _EPS:
+            if rows_left > 1:
+                row_active[i] = False
+                work[i, :] = np.inf
+            else:
+                col_active[j] = False
+                work[:, j] = np.inf
+        elif s[i] <= _EPS:
+            if rows_left > 1:
+                row_active[i] = False
+                work[i, :] = np.inf
+            else:  # last row must survive until every column is closed
+                col_active[j] = False
+                work[:, j] = np.inf
         else:
-            j += 1
-    # Degenerate padding: NW corner can terminate early when a supply and
-    # demand exhaust simultaneously; walk the last row to keep a tree.
-    need = m + n - 1 - len(basis)
-    if need > 0:
-        present = set(basis)
-        for jj in range(n):
-            if need == 0:
-                break
-            cell = (m - 1, jj)
-            if cell not in present:
-                flow[cell] = 0.0
-                basis.append(cell)
-                present.add(cell)
-                need -= 1
-        for ii in range(m):
-            if need == 0:
-                break
-            cell = (ii, n - 1)
-            if cell not in present:
-                flow[cell] = 0.0
-                basis.append(cell)
-                present.add(cell)
-                need -= 1
-    return flow, basis
+            if cols_left > 1:
+                col_active[j] = False
+                work[:, j] = np.inf
+            else:
+                row_active[i] = False
+                work[i, :] = np.inf
+    return flow, cells
 
 
-def _compute_potentials(
-    basis: Sequence[Tuple[int, int]], cost: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Solve ``u_i + v_j = c_ij`` over the basis tree (BFS from u_0 = 0)."""
-    m, n = cost.shape
-    u = np.full(m, np.nan)
-    v = np.full(n, np.nan)
-    rows_adj: Dict[int, List[int]] = defaultdict(list)
-    cols_adj: Dict[int, List[int]] = defaultdict(list)
-    for (i, j) in basis:
-        rows_adj[i].append(j)
-        cols_adj[j].append(i)
-    u[0] = 0.0
-    queue: deque = deque([("r", 0)])
-    while queue:
-        kind, idx = queue.popleft()
-        if kind == "r":
-            for j in rows_adj[idx]:
-                if np.isnan(v[j]):
-                    v[j] = cost[idx, j] - u[idx]
-                    queue.append(("c", j))
-        else:
-            for i in cols_adj[idx]:
-                if np.isnan(u[i]):
-                    u[i] = cost[i, idx] - v[idx]
-                    queue.append(("r", i))
-    # A disconnected basis would leave NaNs; that indicates a broken tree.
-    if np.isnan(u).any() or np.isnan(v).any():
-        raise SolverError("transportation basis is not a spanning tree")
-    return u, v
+# -- warm start: basis repair ------------------------------------------------------
 
 
-def _find_cycle(
-    basis: Sequence[Tuple[int, int]], entering: Tuple[int, int]
+class _UnionFind:
+    __slots__ = ("parent",)
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+def _repair_warm_cells(
+    warm: TransportationBasis, mb: int, n: int, cost_b: np.ndarray
 ) -> List[Tuple[int, int]]:
-    """Unique alternating cycle created by adding ``entering`` to the tree.
+    """Rebuild a spanning tree from a possibly-stale basis.
 
-    Returns cells in cycle order starting with ``entering``; flow is
-    increased on even positions and decreased on odd positions.
+    Cells outside the current balanced shape (e.g. a dummy row that no
+    longer exists) are dropped, cycle-creating duplicates are skipped,
+    and the surviving forest is completed with the cheapest cells that
+    connect two components — so a lightly perturbed basis survives
+    nearly intact while arbitrary garbage still yields a valid tree.
     """
-    start_row, target_col = entering
-    rows_adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
-    cols_adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
-    for (i, j) in basis:
-        rows_adj[i].append((i, j))
-        cols_adj[j].append((i, j))
+    uf = _UnionFind(mb + n)
+    kept: List[Tuple[int, int]] = []
+    for i, j in warm.cells:
+        if 0 <= i < mb and 0 <= j < n and uf.union(i, mb + j):
+            kept.append((i, j))
+    while len(kept) < mb + n - 1:
+        comp_row = np.fromiter((uf.find(i) for i in range(mb)), dtype=np.int64, count=mb)
+        comp_col = np.fromiter(
+            (uf.find(mb + j) for j in range(n)), dtype=np.int64, count=n
+        )
+        connects = comp_row[:, None] != comp_col[None, :]
+        masked = np.where(connects, cost_b, np.inf)
+        flat = int(np.argmin(masked))
+        i, j = divmod(flat, n)
+        if not np.isfinite(masked[i, j]):  # pragma: no cover - complete bipartite
+            raise SolverError("cannot complete warm basis to a spanning tree")
+        uf.union(i, mb + j)
+        kept.append((i, j))
+    return kept
 
-    # BFS over the bipartite tree from row node `start_row` to column node
-    # `target_col`; edges are basic cells.
-    parent: Dict[Tuple[str, int], Tuple[Tuple[str, int], Tuple[int, int]]] = {}
-    queue: deque = deque([("r", start_row)])
-    seen = {("r", start_row)}
-    found = False
-    while queue and not found:
-        kind, idx = queue.popleft()
-        edges = rows_adj[idx] if kind == "r" else cols_adj[idx]
-        for cell in edges:
-            nxt = ("c", cell[1]) if kind == "r" else ("r", cell[0])
-            if nxt in seen:
-                continue
-            seen.add(nxt)
-            parent[nxt] = ((kind, idx), cell)
-            if nxt == ("c", target_col):
-                found = True
-                break
-            queue.append(nxt)
-    if not found:
-        raise SolverError("entering cell does not close a cycle (broken basis tree)")
 
-    # Reconstruct path of basic cells from target column back to start row.
-    path_cells: List[Tuple[int, int]] = []
-    node = ("c", target_col)
-    while node != ("r", start_row):
-        prev, cell = parent[node]
-        path_cells.append(cell)
-        node = prev
-    path_cells.reverse()
-    return [entering] + path_cells
+def _tree_flows(
+    cells: Sequence[Tuple[int, int]], mb: int, n: int, supply: np.ndarray, demand: np.ndarray
+) -> Optional[np.ndarray]:
+    """Unique flow the spanning tree must carry, by leaf elimination.
+
+    Returns the (mb, n) flow matrix, or ``None`` when the tree demands a
+    negative flow — i.e. the warm basis is primal-infeasible for the
+    perturbed supplies/demands and the caller should cold-start.
+    """
+    N = mb + n
+    adjacency: List[List[int]] = [[] for _ in range(N)]
+    for idx, (i, j) in enumerate(cells):
+        adjacency[i].append(idx)
+        adjacency[mb + j].append(idx)
+    degree = np.fromiter((len(a) for a in adjacency), dtype=np.int64, count=N)
+    remaining = np.concatenate([supply, demand]).astype(float)
+    done = np.zeros(len(cells), dtype=bool)
+    flow = np.zeros((mb, n))
+    leaves = deque(int(x) for x in np.flatnonzero(degree == 1))
+    while leaves:
+        node = leaves.popleft()
+        if degree[node] != 1:
+            continue
+        edge = next((e for e in adjacency[node] if not done[e]), None)
+        if edge is None:
+            continue
+        i, j = cells[edge]
+        other = mb + j if node == i else i
+        amount = remaining[node]
+        if amount < -_FEAS_TOL:
+            return None
+        flow[i, j] = max(0.0, amount)
+        remaining[node] = 0.0
+        remaining[other] -= amount
+        done[edge] = True
+        degree[node] -= 1
+        degree[other] -= 1
+        if degree[other] == 1:
+            leaves.append(int(other))
+    if not done.all():  # pragma: no cover - guarded by _BasisTree validation
+        raise SolverError("warm basis cells do not form a spanning tree")
+    if (remaining < -_FEAS_TOL).any() or (remaining > _FEAS_TOL).any():
+        return None
+    return flow
+
+
+# -- the basis tree ---------------------------------------------------------------
+
+
+class _BasisTree:
+    """Spanning-tree basis over the bipartite supply/demand graph.
+
+    Nodes are flat indices: row ``i`` is node ``i``, column ``j`` is
+    node ``mb + j``. The tree is kept as parallel index arrays
+    (``parent``, ``depth``, ``parent_cell``) refreshed with one O(m+n)
+    pass per pivot; the pivot cycle itself is traced in O(depth) by
+    climbing parent pointers.
+    """
+
+    __slots__ = ("mb", "n", "bi", "bj", "slot", "parent", "depth", "pcell", "order")
+
+    def __init__(self, cells: Sequence[Tuple[int, int]], mb: int, n: int) -> None:
+        if len(cells) != mb + n - 1:
+            raise SolverError(
+                f"basis has {len(cells)} cells, expected {mb + n - 1}"
+            )
+        self.mb = mb
+        self.n = n
+        self.bi = np.fromiter((c[0] for c in cells), dtype=np.int64, count=len(cells))
+        self.bj = np.fromiter((c[1] for c in cells), dtype=np.int64, count=len(cells))
+        self.slot = {cell: k for k, cell in enumerate(cells)}
+        if len(self.slot) != len(cells):
+            raise SolverError("duplicate cells in transportation basis")
+        N = mb + n
+        self.parent = np.empty(N, dtype=np.int64)
+        self.depth = np.empty(N, dtype=np.int64)
+        self.pcell = np.empty(N, dtype=np.int64)  # basis slot linking to parent
+        self.order = np.empty(N, dtype=np.int64)  # BFS visit order (parents first)
+
+    def refresh(self) -> None:
+        """Rebuild parent/depth arrays from the current cell set (one
+        O(m+n) BFS from row node 0)."""
+        mb, n = self.mb, self.n
+        N = mb + n
+        adjacency: List[List[Tuple[int, int]]] = [[] for _ in range(N)]
+        for k in range(len(self.bi)):
+            i, j = int(self.bi[k]), mb + int(self.bj[k])
+            adjacency[i].append((j, k))
+            adjacency[j].append((i, k))
+        parent, depth, pcell, order = self.parent, self.depth, self.pcell, self.order
+        parent.fill(-2)  # -2 = unvisited, -1 = root
+        parent[0] = -1
+        depth[0] = 0
+        pcell[0] = -1
+        order[0] = 0
+        head, tail = 0, 1
+        while head < tail:
+            node = int(order[head])
+            head += 1
+            for nxt, k in adjacency[node]:
+                if parent[nxt] == -2:
+                    parent[nxt] = node
+                    depth[nxt] = depth[node] + 1
+                    pcell[nxt] = k
+                    order[tail] = nxt
+                    tail += 1
+        if tail != N:
+            raise SolverError("transportation basis is not a spanning tree")
+
+    def potentials(self, cost_b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve ``u_i + v_j = c_ij`` over the tree in visit order."""
+        mb = self.mb
+        u = np.empty(mb)
+        v = np.empty(self.n)
+        u[0] = 0.0
+        bi, bj, pcell = self.bi, self.bj, self.pcell
+        for node in self.order[1:]:
+            k = pcell[node]
+            i, j = int(bi[k]), int(bj[k])
+            if node < mb:  # row node hangs off its column parent
+                u[i] = cost_b[i, j] - v[j]
+            else:
+                v[j] = cost_b[i, j] - u[i]
+        return u, v
+
+    def cycle(self, ei: int, ej: int) -> List[Tuple[int, int]]:
+        """Cells of the unique cycle closed by entering cell ``(ei, ej)``,
+        in adjacency order starting at the entering cell (even positions
+        gain flow, odd positions lose it). O(tree depth)."""
+        mb = self.mb
+        parent, depth, pcell = self.parent, self.depth, self.pcell
+        a, b = ei, mb + ej
+        side_a: List[int] = []  # basis slots from row endpoint up
+        side_b: List[int] = []  # basis slots from column endpoint up
+        while depth[a] > depth[b]:
+            side_a.append(int(pcell[a]))
+            a = int(parent[a])
+        while depth[b] > depth[a]:
+            side_b.append(int(pcell[b]))
+            b = int(parent[b])
+        while a != b:
+            side_a.append(int(pcell[a]))
+            a = int(parent[a])
+            side_b.append(int(pcell[b]))
+            b = int(parent[b])
+        bi, bj = self.bi, self.bj
+        path = [(int(bi[k]), int(bj[k])) for k in side_b]
+        path.extend((int(bi[k]), int(bj[k])) for k in reversed(side_a))
+        return [(ei, ej)] + path
+
+    def replace(self, leaving: Tuple[int, int], entering: Tuple[int, int]) -> None:
+        k = self.slot.pop(leaving)
+        self.slot[entering] = k
+        self.bi[k], self.bj[k] = entering
+        self.refresh()
+
+    def cells(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted(zip(self.bi.tolist(), self.bj.tolist())))
+
+
+# -- solver ------------------------------------------------------------------------
 
 
 def solve_transportation(
     problem: TransportationProblem,
     max_iter: int = 100_000,
     big_m: Optional[float] = None,
+    warm_start: Optional[TransportationBasis] = None,
 ) -> TransportationResult:
-    """Solve to optimality with north-west corner + MODI pivots.
+    """Solve to optimality with Vogel (or a warm basis) + MODI pivots.
 
     Parameters
     ----------
@@ -260,6 +482,11 @@ def solve_transportation(
     big_m:
         Cost used for forbidden (infinite-cost) lanes; auto-scaled from
         the finite costs when omitted.
+    warm_start:
+        Basis returned by a previous solve of a same-shaped instance.
+        Repaired if stale; silently ignored when the shape mismatches
+        or the repair is primal-infeasible — the optimum never depends
+        on the warm start, only the pivot count does.
     """
     start = time.perf_counter()
     supply = problem.supply
@@ -306,69 +533,81 @@ def solve_transportation(
         forbidden_b = forbidden
     mb = supply_b.size
 
-    flow, basis = _northwest_corner(supply_b, demand)
-    basis_set = set(basis)
+    # Initial basis: repaired warm tree when one fits, Vogel otherwise.
+    flow_mat: Optional[np.ndarray] = None
+    cells: Optional[List[Tuple[int, int]]] = None
+    warm_used = False
+    if warm_start is not None and tuple(warm_start.shape) == (m, n):
+        repaired = _repair_warm_cells(warm_start, mb, n, cost_b)
+        flows = _tree_flows(repaired, mb, n, supply_b, demand)
+        if flows is not None:
+            flow_mat, cells, warm_used = flows, repaired, True
+    if flow_mat is None or cells is None:
+        flow_mat, cells = _vogel_basis(supply_b, demand, cost_b)
 
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        u, v = _compute_potentials(basis, cost_b)
+    tree = _BasisTree(cells, mb, n)
+    tree.refresh()
+
+    pivots = 0
+    basic_mask_rows = tree.bi
+    basic_mask_cols = tree.bj
+    while True:
+        u, v = tree.potentials(cost_b)
         reduced = cost_b - u[:, None] - v[None, :]
-        # Mask basic cells: their reduced cost is 0 by construction but
-        # numerical noise could otherwise re-select them.
-        for (i, j) in basis:
-            reduced[i, j] = 0.0
+        # Basic cells price to 0 by construction; pin them so numerical
+        # noise cannot re-select one as entering.
+        reduced[basic_mask_rows, basic_mask_cols] = 0.0
         entering_flat = int(np.argmin(reduced))
         ei, ej = divmod(entering_flat, n)
-        if reduced[ei, ej] >= -1e-7 * (1.0 + abs(cost_b[ei, ej])):
+        if reduced[ei, ej] >= -_OPT_TOL * (1.0 + abs(cost_b[ei, ej])):
             break  # optimal
+        if pivots >= max_iter:
+            return TransportationResult(
+                status=SolveStatus.ITERATION_LIMIT,
+                flow=np.zeros((m, n)),
+                objective=float("nan"),
+                iterations=pivots,
+                solve_time=time.perf_counter() - start,
+            )
 
-        cycle = _find_cycle(basis, (ei, ej))
+        cycle = tree.cycle(ei, ej)
         minus_cells = cycle[1::2]
-        theta = min(flow[c] for c in minus_cells)
+        theta = min(flow_mat[c] for c in minus_cells)
         leaving = min(
-            (c for c in minus_cells if abs(flow[c] - theta) <= _EPS),
+            (c for c in minus_cells if abs(flow_mat[c] - theta) <= _EPS),
             key=lambda c: (c[0], c[1]),
         )
         for pos, cell in enumerate(cycle):
             if pos % 2 == 0:
-                flow[cell] = flow.get(cell, 0.0) + theta
+                flow_mat[cell] += theta
             else:
-                flow[cell] -= theta
-        del flow[leaving]
-        basis_set.discard(leaving)
-        basis_set.add((ei, ej))
-        basis = list(basis_set)
-        if (ei, ej) != leaving:
-            flow.setdefault((ei, ej), 0.0)
-    else:
-        return TransportationResult(
-            status=SolveStatus.ITERATION_LIMIT,
-            flow=np.zeros((m, n)),
-            objective=float("nan"),
-            iterations=iterations,
-            solve_time=time.perf_counter() - start,
-        )
+                flow_mat[cell] -= theta
+        flow_mat[leaving] = 0.0
+        tree.replace(leaving, (ei, ej))
+        pivots += 1
 
-    flow_matrix = np.zeros((mb, n))
-    for (i, j), amount in flow.items():
-        flow_matrix[i, j] = max(0.0, amount)
+    solve_time = time.perf_counter() - start
+    basis = TransportationBasis(shape=(m, n), dummy=slack > _EPS, cells=tree.cells())
 
     # Any flow on a forbidden lane means the real problem is infeasible.
-    if (flow_matrix[forbidden_b] > 1e-6).any():
+    if (flow_mat[forbidden_b] > 1e-6).any():
         return TransportationResult(
             status=SolveStatus.INFEASIBLE,
             flow=np.zeros((m, n)),
             objective=float("nan"),
-            iterations=iterations,
-            solve_time=time.perf_counter() - start,
+            iterations=pivots,
+            solve_time=solve_time,
+            warm_started=warm_used,
         )
 
-    real_flow = flow_matrix[:m]
+    real_flow = np.maximum(flow_mat[:m], 0.0)
     objective = float((problem.cost[~forbidden] * real_flow[~forbidden]).sum())
     return TransportationResult(
         status=SolveStatus.OPTIMAL,
         flow=real_flow,
         objective=objective,
-        iterations=iterations,
-        solve_time=time.perf_counter() - start,
+        iterations=pivots,
+        solve_time=solve_time,
+        basis=basis,
+        warm_started=warm_used,
     )

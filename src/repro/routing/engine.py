@@ -16,7 +16,10 @@ with three orthogonal accelerations:
   optimal route touches a dirty edge, plus the pairs that a
   weight-*decrease* could improve (screened by an exact lower bound
   through the decreased edge, computed from two layered DPs — the
-  transportation-pricing idea of screening columns by reduced cost);
+  transportation-pricing idea of screening columns by reduced cost).
+  For the dp engine, a *cost gate* first estimates the repair bill in
+  source-row units and falls back to the flat full recompute whenever
+  the dirty set makes repair a loss (``EngineStats.gate_fallbacks``);
 * **vectorized** — the underlying enumeration primitive batches path
   pricing through one ``np.add.reduceat`` per ~512 paths (see
   :func:`~repro.routing.response_time._best_enum_route`).
@@ -48,6 +51,14 @@ from repro.topology.graph import Topology
 
 _TIE_TOL = 1e-12
 
+#: Estimated cost of one screening DP (a hop-layered sweep with no path
+#: recovery, see :meth:`TrminEngine._improvable_pairs`) relative to one
+#: with-paths DP source-row re-solve — the unit the dp cost gate counts
+#: in. Path materialization dominates a row re-solve, so a pathless
+#: sweep is far cheaper; 0.25 is deliberately pessimistic (biases the
+#: gate toward the always-sound full recompute).
+_SCREEN_ROW_COST = 0.25
+
 Pair = Tuple[int, int]
 
 
@@ -68,6 +79,9 @@ class EngineStats:
     full_computes: int = 0
     incremental_updates: int = 0
     pairs_repriced: int = 0
+    #: Incremental repairs abandoned by the dp cost gate because the
+    #: dirty set made repair at least as expensive as a full recompute.
+    gate_fallbacks: int = 0
 
 
 @dataclass
@@ -393,10 +407,36 @@ class TrminEngine:
         # (b) pairs a weight-decrease could improve: screen with an
         # exact lower bound on any hop-bounded route through the edge.
         decreased = changed[new_weights[changed] < entry.weights[changed]]
+
+        # Cost gate (dp only): repair re-solves whole source rows, so
+        # its cost is |flagged rows| row-solves plus 2 screening DPs per
+        # decreased edge — while the fallback is a flat |sources| row
+        # recompute. Bail out as soon as the estimate says repair cannot
+        # win; rows touched by dirty routes are a lower bound on the
+        # flagged rows, so this pre-gate never rejects a repair that the
+        # post-screen gate below would have accepted.
+        if model.engine is PathEngine.DP:
+            total_rows = len(entry.sources)
+            screen_cost = _SCREEN_ROW_COST * 2 * decreased.size
+            rows_dirty = {pair[0] for pair in flagged}
+            if screen_cost + len(rows_dirty) >= total_rows:
+                self.stats.gate_fallbacks += 1
+                return False
+
         for e in decreased:
             flagged.update(
                 self._improvable_pairs(topology, entry, int(e), new_weights, model)
             )
+
+        # Post-screen gate: screening may have flagged more rows than
+        # the dirty-route lower bound promised. The screening work is
+        # sunk either way; only the remaining row re-solves matter.
+        if model.engine is PathEngine.DP:
+            rows_flagged = {pair[0] for pair in flagged}
+            if len(rows_flagged) >= len(entry.sources):
+                self.stats.gate_fallbacks += 1
+                return False
+
         if flagged:
             self._reprice_pairs(model, topology, entry, flagged, new_weights)
         entry.weights = new_weights

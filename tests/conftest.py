@@ -1,0 +1,39 @@
+"""Suite-wide guards.
+
+A per-test wall-clock limit so a cycling simplex pivot (or any other
+accidental infinite loop) can never hang the suite. When the real
+``pytest-timeout`` plugin is installed (CI installs it) it takes over
+and this guard steps aside; otherwise a stdlib ``SIGALRM`` fallback
+enforces the same limit on POSIX hosts. Windows (no ``SIGALRM``) runs
+unguarded rather than skipping tests.
+"""
+
+import signal
+
+import pytest
+
+#: Generous per-test ceiling — the slowest legitimate tests (hypothesis
+#: sweeps over LP instances) finish in well under a minute.
+TEST_TIMEOUT_S = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    plugin_active = item.config.pluginmanager.hasplugin("timeout")
+    if plugin_active or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_S}s suite guard "
+            "(possible pivot cycle or infinite loop)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

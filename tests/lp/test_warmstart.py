@@ -1,0 +1,267 @@
+"""Warm-start equivalence suite for the LP layer.
+
+The contract under test: a warm start never changes *what* is computed
+— cold Vogel starts, warm re-solves from a previous basis (including
+stale bases repaired after a perturbation) and scipy/HiGHS must agree
+on status and objective to 1e-6 — it only changes how many pivots the
+solve spends getting there.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import (
+    LinearProgram,
+    SimplexBasis,
+    SolveStatus,
+    TransportationBasis,
+    TransportationProblem,
+    lp_sum,
+    solve_branch_and_bound,
+    solve_scipy,
+    solve_simplex,
+    solve_transportation,
+)
+
+
+def scipy_reference(supply, demand, cost):
+    """HiGHS solve of the (possibly unbalanced) transportation instance."""
+    m, n = cost.shape
+    lp = LinearProgram()
+    xs = {}
+    for i in range(m):
+        for j in range(n):
+            if np.isfinite(cost[i, j]):
+                xs[(i, j)] = lp.add_variable(f"x_{i}_{j}")
+    for i in range(m):
+        row = [xs[(i, j)] for j in range(n) if (i, j) in xs]
+        if not row:
+            if supply[i] > 1e-12:
+                return None  # cut-off supply row: trivially infeasible
+            continue
+        lp.add_constraint(lp_sum(row) == float(supply[i]))
+    for j in range(n):
+        col = [xs[(i, j)] for i in range(m) if (i, j) in xs]
+        if col:
+            lp.add_constraint(lp_sum(col) <= float(demand[j]))
+    lp.set_objective(lp_sum(cost[i, j] * v for (i, j), v in xs.items()))
+    return solve_scipy(lp)
+
+
+def random_instance(seed, m, n, with_forbidden, degenerate):
+    """Unbalanced instance; optionally forbidden lanes and tying supplies."""
+    rng = np.random.default_rng(seed)
+    if degenerate:
+        # Repeated integer supplies/demands force flow ties, the classic
+        # breeding ground for degenerate pivots and cycling.
+        supply = rng.integers(1, 4, m).astype(float)
+        demand = rng.integers(1, 4, n).astype(float)
+    else:
+        supply = rng.uniform(0.0, 10.0, m)
+        demand = rng.uniform(0.0, 10.0, n)
+    if supply.sum() > demand.sum():
+        supply *= 0.85 * demand.sum() / supply.sum()
+    cost = rng.uniform(1.0, 10.0, (m, n))
+    if with_forbidden:
+        cost = np.where(rng.random((m, n)) < 0.25, np.inf, cost)
+    return supply, demand, cost
+
+
+def assert_matches_reference(result, ref, supply, demand, cost):
+    if ref is None:
+        assert result.status is SolveStatus.INFEASIBLE
+        return
+    assert result.status == ref.status, (result.status, ref.status)
+    if ref.status is SolveStatus.OPTIMAL:
+        assert result.objective == pytest.approx(ref.objective, abs=1e-6)
+        np.testing.assert_allclose(result.flow.sum(axis=1), supply, atol=1e-6)
+        assert (result.flow.sum(axis=0) <= demand + 1e-6).all()
+        assert (result.flow[~np.isfinite(cost)] <= 1e-9).all()
+
+
+class TestTransportationWarmStart:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=100_000),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_cold_warm_and_scipy_agree_under_perturbation(
+        self, m, n, seed, with_forbidden, degenerate
+    ):
+        supply, demand, cost = random_instance(
+            seed, m, n, with_forbidden, degenerate
+        )
+        cold = solve_transportation(TransportationProblem(supply, demand, cost))
+        assert_matches_reference(
+            cold, scipy_reference(supply, demand, cost), supply, demand, cost
+        )
+        if cold.status is not SolveStatus.OPTIMAL:
+            return
+        assert isinstance(cold.basis, TransportationBasis)
+        assert not cold.warm_started
+
+        # Perturb one supply (stays feasible: supplies only shrink) and
+        # re-solve warm from the stale basis.
+        rng = np.random.default_rng(seed + 1)
+        perturbed = supply.copy()
+        perturbed[rng.integers(0, m)] *= rng.uniform(0.3, 0.999)
+        warm = solve_transportation(
+            TransportationProblem(perturbed, demand, cost),
+            warm_start=cold.basis,
+        )
+        # warm_started may be False here: a shrunk supply can make the
+        # old tree primal-infeasible, and the documented behaviour is a
+        # silent Vogel fallback. Either way the optimum must match.
+        assert_matches_reference(
+            warm,
+            scipy_reference(perturbed, demand, cost),
+            perturbed,
+            demand,
+            cost,
+        )
+
+    def test_identical_resolve_takes_zero_pivots(self):
+        supply = np.array([6.0, 4.0])
+        demand = np.array([5.0, 5.0, 3.0])
+        cost = np.array([[1.0, 4.0, 6.0], [3.0, 2.0, 2.0]])
+        cold = solve_transportation(TransportationProblem(supply, demand, cost))
+        warm = solve_transportation(
+            TransportationProblem(supply, demand, cost), warm_start=cold.basis
+        )
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.warm_started
+        assert warm.iterations == 0
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_mismatched_shape_hint_is_ignored(self):
+        small = solve_transportation(
+            TransportationProblem(
+                np.array([1.0]), np.array([2.0]), np.array([[1.0]])
+            )
+        )
+        big = solve_transportation(
+            TransportationProblem(
+                np.array([3.0, 2.0]),
+                np.array([4.0, 4.0]),
+                np.array([[1.0, 2.0], [2.0, 1.0]]),
+            ),
+            warm_start=small.basis,
+        )
+        assert big.status is SolveStatus.OPTIMAL
+        assert not big.warm_started
+
+
+def simplex_fixture(rhs_scale=1.0):
+    """A small LP whose RHS can be perturbed without changing structure."""
+    lp = LinearProgram("warm-fixture")
+    x = lp.add_variable("x")
+    y = lp.add_variable("y")
+    z = lp.add_variable("z")
+    lp.add_constraint(x + y + z == 10.0 * rhs_scale, name="mass")
+    lp.add_constraint(2.0 * x + y <= 12.0 * rhs_scale, name="cap_a")
+    lp.add_constraint(y + 3.0 * z <= 15.0 * rhs_scale, name="cap_b")
+    lp.set_objective(3.0 * x + 1.0 * y + 2.0 * z)
+    return lp
+
+
+class TestSimplexWarmStart:
+    def test_warm_resolve_after_rhs_perturbation(self):
+        cold = solve_simplex(simplex_fixture())
+        assert cold.status is SolveStatus.OPTIMAL
+        assert isinstance(cold.basis, SimplexBasis)
+
+        perturbed = simplex_fixture(rhs_scale=0.9)
+        warm = solve_simplex(perturbed, warm_start=cold.basis)
+        reference = solve_scipy(perturbed)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.warm_started
+        assert warm.objective == pytest.approx(reference.objective, abs=1e-6)
+
+        cold_perturbed = solve_simplex(perturbed)
+        assert cold_perturbed.objective == pytest.approx(
+            reference.objective, abs=1e-6
+        )
+        assert warm.iterations <= cold_perturbed.iterations
+
+    def test_bare_name_hint_still_accepted(self):
+        cold = solve_simplex(simplex_fixture())
+        warm = solve_simplex(simplex_fixture(), warm_start=cold.basis.names)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_rhs_perturbations_keep_the_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        cold = solve_simplex(simplex_fixture())
+        scale = float(rng.uniform(0.5, 1.5))
+        perturbed = simplex_fixture(rhs_scale=scale)
+        warm = solve_simplex(perturbed, warm_start=cold.basis)
+        reference = solve_scipy(perturbed)
+        assert warm.status == reference.status
+        if reference.status is SolveStatus.OPTIMAL:
+            assert warm.objective == pytest.approx(reference.objective, abs=1e-6)
+
+
+def heterogeneous_ilp(seed, m=3, n=4):
+    """Placement-shaped ILP; non-unit coefficients break unimodularity."""
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(1.0, 10.0, (m, n))
+    coeff = rng.uniform(0.6, 1.7, (m, n))
+    supply = rng.integers(2, 6, m).astype(float)
+    cap = np.full(n, supply.sum() * coeff.mean() * 1.25 / n)
+    lp = LinearProgram(f"warm-ilp-{seed}")
+    x = {
+        (i, j): lp.add_variable(f"x_{i}_{j}", is_integer=True)
+        for i in range(m)
+        for j in range(n)
+    }
+    for i in range(m):
+        lp.add_constraint(
+            lp_sum(x[(i, j)] for j in range(n)) == float(supply[i]),
+            name=f"supply_{i}",
+        )
+    for j in range(n):
+        lp.add_constraint(
+            lp_sum(float(coeff[i, j]) * x[(i, j)] for i in range(m))
+            <= float(cap[j]),
+            name=f"capacity_{j}",
+        )
+    lp.set_objective(lp_sum(float(cost[i, j]) * x[(i, j)] for (i, j) in x))
+    return lp
+
+
+class TestBranchAndBoundWarmStart:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_warm_start_never_changes_the_optimum(self, seed):
+        lp = heterogeneous_ilp(seed)
+        reference = solve_scipy(lp)
+        cold = solve_branch_and_bound(lp, warm_start=False)
+        warm = solve_branch_and_bound(lp, warm_start=True)
+        assert cold.status == reference.status
+        assert warm.status == reference.status
+        if reference.status is SolveStatus.OPTIMAL:
+            assert cold.objective == pytest.approx(reference.objective, abs=1e-6)
+            assert warm.objective == pytest.approx(reference.objective, abs=1e-6)
+
+    def test_warm_start_reduces_pivots_in_aggregate(self):
+        # Per instance the dual restart can lose (a different starting
+        # basis reshapes the whole branching trajectory); the perf claim
+        # is aggregate. Also guard that the fixtures don't collapse to
+        # integral relaxations (totally unimodular => nothing to do).
+        cold_total = warm_total = branched = 0
+        for seed in range(6):
+            lp = heterogeneous_ilp(seed)
+            cold = solve_branch_and_bound(lp, warm_start=False)
+            warm = solve_branch_and_bound(lp, warm_start=True)
+            cold_total += cold.total_pivots
+            warm_total += warm.total_pivots
+            if cold.total_pivots > cold.iterations:  # more than the root LP
+                branched += 1
+        assert branched >= 2
+        assert warm_total < cold_total
