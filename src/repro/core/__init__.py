@@ -9,29 +9,40 @@ from __future__ import annotations
 
 from repro.core.audit import AuditReport, audit_system
 from repro.core.client import DUSTClient, HostedWorkload
+from repro.core.failover import ManagerSnapshot, SnapshotStore, StandbyManager
 from repro.core.heuristic import HeuristicReport, solve_heuristic
 from repro.core.manager import DUSTManager, ManagerCounters
 from repro.core.messages import (
     Ack,
     ControlMessage,
+    DedupCache,
     Keepalive,
+    ManagerHeartbeat,
     MessageType,
     OffloadAck,
     OffloadCapable,
     OffloadRequest,
+    Receipt,
     Reclaim,
     Redirect,
+    ReliableSender,
     Rep,
+    Resync,
+    RetryPolicy,
     Stat,
 )
 from repro.core.metrics import (
     SuccessCategory,
     SuccessRateSummary,
+    assignment_signature,
     categorize_iteration,
     fit_power_law,
     hfr_pct,
     infeasible_rate_pct,
     mean_hops,
+    message_overhead_pct,
+    placement_divergence,
+    recovery_time_s,
     summarize_categories,
 )
 from repro.core.multiresource import (
@@ -81,11 +92,14 @@ __all__ = [
     "ControlMessage",
     "DUSTClient",
     "DUSTManager",
+    "DedupCache",
     "HeuristicReport",
     "HostedWorkload",
     "Keepalive",
     "KeepaliveTracker",
     "ManagerCounters",
+    "ManagerHeartbeat",
+    "ManagerSnapshot",
     "MessageType",
     "MonitoringRequest",
     "MultiResourceProblem",
@@ -111,11 +125,17 @@ __all__ = [
     "PlacementSession",
     "QoSClass",
     "RECOMMENDED_K_IO",
+    "Receipt",
     "Reclaim",
     "Redirect",
+    "ReliableSender",
     "Rep",
     "ReplicaSelector",
+    "Resync",
+    "RetryPolicy",
     "RoleAssignment",
+    "SnapshotStore",
+    "StandbyManager",
     "Stat",
     "Zone",
     "ZonedPlacementEngine",
@@ -128,6 +148,7 @@ __all__ = [
     "SuccessRateSummary",
     "ThresholdPolicy",
     "TransmissionOutcome",
+    "assignment_signature",
     "categorize_iteration",
     "classify_network",
     "classify_node",
@@ -135,6 +156,9 @@ __all__ = [
     "hfr_pct",
     "infeasible_rate_pct",
     "mean_hops",
+    "message_overhead_pct",
+    "placement_divergence",
+    "recovery_time_s",
     "solve_heuristic",
     "summarize_categories",
 ]

@@ -17,6 +17,16 @@ follows Section III-B:
 The utilized capacity it reports is ``base(t) − offloaded + hosted``
 (the homogeneity assumption), where ``base`` is a constant or a
 callable of virtual time supplied by the experiment.
+
+Lossy-network hardening: every handler is idempotent — a
+:class:`~repro.core.messages.DedupCache` suppresses duplicated or
+retransmitted messages and replays the original response instead of
+re-running the state transition. With ``retry_policy`` set the
+announcement is retransmitted until ACKed (give-up reverts to local
+telemetry and re-announces later) and Redirect/Reclaim are confirmed
+with **Receipt** messages so the manager can gate its own
+retransmissions. With ``retry_policy=None`` (the default) the wire
+behaviour is byte-identical to the pre-hardening client.
 """
 
 from __future__ import annotations
@@ -27,13 +37,18 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.core.messages import (
     Ack,
     ControlMessage,
+    DedupCache,
     Keepalive,
     OffloadAck,
     OffloadCapable,
     OffloadRequest,
+    Receipt,
     Reclaim,
     Redirect,
+    ReliableSender,
     Rep,
+    Resync,
+    RetryPolicy,
     Stat,
 )
 from repro.core.thresholds import ThresholdPolicy
@@ -69,6 +84,8 @@ class DUSTClient:
         num_agents: int = 10,
         capable: bool = True,
         keepalive_period_s: float = 10.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        reannounce_delay_s: float = 60.0,
     ) -> None:
         self.node_id = node_id
         self.engine = engine
@@ -80,6 +97,8 @@ class DUSTClient:
         self.num_agents = num_agents
         self.capable = capable
         self.keepalive_period_s = keepalive_period_s
+        self.retry_policy = retry_policy
+        self.reannounce_delay_s = reannounce_delay_s
 
         self.update_interval_s: Optional[float] = None
         self.hosted: Dict[int, HostedWorkload] = {}
@@ -89,6 +108,17 @@ class DUSTClient:
         self.stats_sent = 0
         self.keepalives_sent = 0
         self.requests_rejected = 0
+        self.duplicates_ignored = 0
+        self.announce_give_ups = 0
+
+        self._dedup = DedupCache()
+        self._reliable: Optional[ReliableSender] = (
+            ReliableSender(network, engine, node_id, retry_policy)
+            if retry_policy is not None
+            else None
+        )
+        self._announce_msg_id: Optional[int] = None
+        self._stat_confirmed = False  # manager receipted an admission STAT
 
     # -- capacity model -----------------------------------------------------------
     def base_capacity(self, now: float) -> float:
@@ -115,19 +145,42 @@ class DUSTClient:
     def offloaded_amount(self) -> float:
         return float(sum(self.offloaded_to.values()))
 
+    @property
+    def retransmissions(self) -> int:
+        return self._reliable.retransmissions if self._reliable is not None else 0
+
     # -- lifecycle -------------------------------------------------------------------
     def start(self) -> None:
         """Register on the network and announce participation."""
         self.network.register(self.node_id, self._receive)
-        self.network.send(
-            self.node_id,
-            self.manager_node,
-            OffloadCapable(
-                node_id=self.node_id,
-                capable=self.capable,
-                c_max=self.policy.c_max,
-                co_max=self.policy.co_max,
-            ),
+        self._announce()
+
+    def _announce(self) -> None:
+        if not self.alive:
+            return
+        announce = OffloadCapable(
+            node_id=self.node_id,
+            capable=self.capable,
+            c_max=self.policy.c_max,
+            co_max=self.policy.co_max,
+        )
+        self._announce_msg_id = announce.msg_id
+        if self._reliable is not None:
+            self._reliable.send(
+                self.manager_node, announce, on_give_up=self._on_announce_give_up
+            )
+        else:
+            self.network.send(self.node_id, self.manager_node, announce)
+
+    def _on_announce_give_up(self, destination: int, payload: ControlMessage) -> None:
+        """Manager unreachable: keep monitoring locally (the default —
+        nothing was offloaded yet) and re-announce after a quiet
+        period, like a fresh boot onto a flaky fabric."""
+        self.announce_give_ups += 1
+        self.engine.schedule_after(
+            self.reannounce_delay_s,
+            lambda engine: self._announce(),
+            label=f"reannounce-{self.node_id}",
         )
 
     def fail(self) -> None:
@@ -135,6 +188,8 @@ class DUSTClient:
         failure-recovery experiments to trigger replica substitution."""
         self.alive = False
         self.network.unregister(self.node_id)
+        if self._reliable is not None:
+            self._reliable.cancel_all()
 
     def recover(self) -> None:
         """Restart after a crash: state is lost (hosted workloads were
@@ -146,6 +201,8 @@ class DUSTClient:
         self.offloaded_to.clear()
         self.update_interval_s = None
         self._keepalive_running = False
+        self._stat_confirmed = False
+        self._dedup.clear()
         self.alive = True
         self.start()
 
@@ -154,28 +211,46 @@ class DUSTClient:
         if not self.alive:
             return
         payload = message.payload
+        if not isinstance(payload, ControlMessage):
+            raise ProtocolError(f"client {self.node_id} received non-DUST payload")
+        duplicate, cached_reply = self._dedup.check(message.source, payload.msg_id)
+        if duplicate:
+            # Idempotent replay: re-elicit the original answer (so a
+            # lost response is recovered by the peer's retransmission)
+            # without re-running the state transition.
+            self.duplicates_ignored += 1
+            if cached_reply is not None:
+                self.network.send(self.node_id, message.source, cached_reply)
+            return
+        reply: Optional[ControlMessage] = None
         if isinstance(payload, Ack):
             self._on_ack(payload)
         elif isinstance(payload, OffloadRequest):
-            self._on_offload_request(payload)
+            reply = self._on_offload_request(payload)
         elif isinstance(payload, Rep):
-            self._on_rep(payload)
+            reply = self._on_rep(payload)
         elif isinstance(payload, Redirect):
-            self._on_redirect(payload)
+            reply = self._on_redirect(payload)
         elif isinstance(payload, Reclaim):
-            self._on_reclaim(payload)
-        elif isinstance(payload, ControlMessage):
+            reply = self._on_reclaim(payload)
+        elif isinstance(payload, Resync):
+            reply = self._on_resync(payload)
+        elif isinstance(payload, Receipt) and self._reliable is not None:
+            self._reliable.acknowledge(payload.acked_msg_id)
+            self._stat_confirmed = True
+        else:
             raise ProtocolError(
                 f"client {self.node_id} cannot handle {payload.type.value!r}"
             )
-        else:
-            raise ProtocolError(f"client {self.node_id} received non-DUST payload")
+        self._dedup.remember(message.source, payload.msg_id, reply)
 
     def _on_ack(self, ack: Ack) -> None:
         if ack.node_id != self.node_id:
             raise ProtocolError(
                 f"client {self.node_id} got ACK addressed to {ack.node_id}"
             )
+        if self._reliable is not None:
+            self._reliable.acknowledge(self._announce_msg_id)
         first_start = self.update_interval_s is None
         self.update_interval_s = ack.update_interval_s
         if first_start:
@@ -189,17 +264,21 @@ class DUSTClient:
 
     def _send_stat(self) -> None:
         self.stats_sent += 1
-        self.network.send(
-            self.node_id,
-            self.manager_node,
-            Stat(
-                node_id=self.node_id,
-                capacity_pct=self.current_capacity(self.engine.now),
-                data_mb=self.data_mb,
-                num_agents=self.num_agents,
-                timestamp=self.engine.now,
-            ),
+        unconfirmed = self._reliable is not None and not self._stat_confirmed
+        stat = Stat(
+            node_id=self.node_id,
+            capacity_pct=self.current_capacity(self.engine.now),
+            data_mb=self.data_mb,
+            num_agents=self.num_agents,
+            timestamp=self.engine.now,
+            reliable=unconfirmed,
         )
+        if unconfirmed:
+            # Admission STAT: retransmit until the manager's Receipt
+            # confirms the NMDB has seen this node at least once.
+            self._reliable.send(self.manager_node, stat)
+        else:
+            self.network.send(self.node_id, self.manager_node, stat)
 
     def _accept_hosting(self, source: int, amount: float, data_mb: float, via_replica: bool) -> bool:
         projected = self.current_capacity(self.engine.now) + amount
@@ -217,39 +296,47 @@ class DUSTClient:
         self._ensure_keepalive_loop()
         return True
 
-    def _on_offload_request(self, req: OffloadRequest) -> None:
+    def _on_offload_request(self, req: OffloadRequest) -> OffloadAck:
         if req.destination != self.node_id:
             raise ProtocolError(
                 f"client {self.node_id} got Offload-Request for {req.destination}"
             )
         accepted = self._accept_hosting(req.source, req.amount_pct, req.data_mb, False)
-        self.network.send(
-            self.node_id,
-            self.manager_node,
-            OffloadAck(
-                destination=self.node_id,
-                source=req.source,
-                accepted=accepted,
-                reason="" if accepted else "projected utilization above CO_max",
-            ),
+        ack = OffloadAck(
+            destination=self.node_id,
+            source=req.source,
+            accepted=accepted,
+            reason="" if accepted else "projected utilization above CO_max",
+            request_id=req.msg_id,
         )
+        self.network.send(self.node_id, self.manager_node, ack)
+        return ack
 
-    def _on_rep(self, rep: Rep) -> None:
+    def _on_rep(self, rep: Rep) -> OffloadAck:
         if rep.replica != self.node_id:
             raise ProtocolError(f"client {self.node_id} got REP for {rep.replica}")
         accepted = self._accept_hosting(rep.source, rep.amount_pct, 0.0, True)
-        self.network.send(
-            self.node_id,
-            self.manager_node,
-            OffloadAck(
-                destination=self.node_id,
-                source=rep.source,
-                accepted=accepted,
-                reason="replica" if accepted else "replica rejected: above CO_max",
-            ),
+        ack = OffloadAck(
+            destination=self.node_id,
+            source=rep.source,
+            accepted=accepted,
+            reason="replica" if accepted else "replica rejected: above CO_max",
+            request_id=rep.msg_id,
         )
+        self.network.send(self.node_id, self.manager_node, ack)
+        return ack
 
-    def _on_redirect(self, redirect: Redirect) -> None:
+    def _receipt_for(self, msg: ControlMessage) -> Optional[Receipt]:
+        """Confirm delivery of an un-answered message type when the
+        reliability layer is active (the manager gates retransmission
+        of Redirect/Reclaim on this)."""
+        if self._reliable is None:
+            return None
+        receipt = Receipt(node_id=self.node_id, acked_msg_id=msg.msg_id)
+        self.network.send(self.node_id, self.manager_node, receipt)
+        return receipt
+
+    def _on_redirect(self, redirect: Redirect) -> Optional[Receipt]:
         if redirect.source != self.node_id:
             raise ProtocolError(
                 f"client {self.node_id} got Redirect for source {redirect.source}"
@@ -257,8 +344,9 @@ class DUSTClient:
         self.offloaded_to[redirect.destination] = (
             self.offloaded_to.get(redirect.destination, 0.0) + redirect.amount_pct
         )
+        return self._receipt_for(redirect)
 
-    def _on_reclaim(self, reclaim: Reclaim) -> None:
+    def _on_reclaim(self, reclaim: Reclaim) -> Optional[Receipt]:
         if reclaim.destination == self.node_id:
             # Drop the hosted workload for this source.
             hosted = self.hosted.get(reclaim.source)
@@ -279,6 +367,40 @@ class DUSTClient:
                 f"client {self.node_id} got Reclaim for "
                 f"{reclaim.source}->{reclaim.destination}"
             )
+        return self._receipt_for(reclaim)
+
+    def _on_resync(self, resync: Resync) -> Optional[Receipt]:
+        """A recovering manager asked for ground truth: report state
+        now — a fresh STAT, one accepting Offload-ACK per hosted
+        workload (carrying its amount so a stale snapshot can be
+        repaired) and, if hosting, an immediate keepalive. The Receipt
+        doubles as the proof-of-life a keepalive probe asks for."""
+        self.manager_node = resync.manager_node
+        self._send_stat()
+        for source, workload in sorted(self.hosted.items()):
+            self.network.send(
+                self.node_id,
+                self.manager_node,
+                OffloadAck(
+                    destination=self.node_id,
+                    source=source,
+                    accepted=True,
+                    reason="resync",
+                    amount_pct=workload.amount_pct,
+                ),
+            )
+        if self.hosted:
+            self.keepalives_sent += 1
+            self.network.send(
+                self.node_id,
+                self.manager_node,
+                Keepalive(
+                    node_id=self.node_id,
+                    hosted_sources=tuple(sorted(self.hosted)),
+                    timestamp=self.engine.now,
+                ),
+            )
+        return self._receipt_for(resync)
 
     # -- keepalive loop ------------------------------------------------------------------
     def _ensure_keepalive_loop(self) -> None:

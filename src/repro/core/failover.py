@@ -1,0 +1,179 @@
+"""Manager failover: snapshots, stable storage, and a standby manager.
+
+The DUST-Manager is the single coordination point of a deployment, so
+its crash would otherwise orphan every active offload. The failover
+design here is deliberately simple (one primary, one standby, shared
+stable storage) but exercises the full recovery path the paper's
+control plane needs:
+
+* the primary persists a :class:`ManagerSnapshot` (NMDB records +
+  offload ledger + keepalive watch set) into a :class:`SnapshotStore`
+  on every state update and heartbeats the standby;
+* the :class:`StandbyManager` watches those heartbeats. After
+  ``takeover_silence_s`` of silence it spins up a fresh
+  :class:`~repro.core.manager.DUSTManager` **under the primary's node
+  id** (VIP-style takeover — clients keep sending to the address they
+  know), restores the latest snapshot, and opens a resync window;
+* during resync, clients answer the broadcast Resync with a fresh STAT
+  plus one Offload-ACK per workload they actually host, letting the new
+  manager rebuild any ledger rows the snapshot missed and converge back
+  to the pre-crash assignments.
+
+Split-brain guard: if the primary is in fact still registered on the
+network (a false alarm — e.g. heartbeats were dropped, not the
+manager), the VIP registration fails and the standby backs off instead
+of double-driving the control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import ControlMessage, ManagerHeartbeat
+from repro.core.nmdb import NodeRecord
+from repro.core.offload import ActiveOffload
+from repro.core.thresholds import ThresholdPolicy
+from repro.errors import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network_sim import Message, MessageNetwork
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class ManagerSnapshot:
+    """One persisted manager state, written on every update."""
+
+    version: int
+    timestamp: float
+    records: Dict[int, NodeRecord]
+    ledger_rows: Tuple[ActiveOffload, ...]
+    keepalive_watch: Dict[int, float]
+
+
+class SnapshotStore:
+    """Stable storage for manager snapshots (latest-wins).
+
+    In-simulation stand-in for a replicated store: survives the
+    manager's crash because it lives outside the manager object.
+    """
+
+    def __init__(self) -> None:
+        self._latest: Optional[ManagerSnapshot] = None
+        self.saves = 0
+
+    def save(self, snapshot: ManagerSnapshot) -> None:
+        if self._latest is not None and snapshot.version < self._latest.version:
+            return  # never let an out-of-date writer regress the store
+        self._latest = snapshot
+        self.saves += 1
+
+    def load(self) -> Optional[ManagerSnapshot]:
+        return self._latest
+
+    @property
+    def version(self) -> int:
+        return -1 if self._latest is None else self._latest.version
+
+
+class StandbyManager:
+    """Hot standby: watches primary heartbeats, takes over on silence."""
+
+    def __init__(
+        self,
+        node_id: int,
+        topology: Topology,
+        engine: SimulationEngine,
+        network: MessageNetwork,
+        policy: ThresholdPolicy,
+        snapshot_store: SnapshotStore,
+        primary_node: int,
+        takeover_silence_s: float = 30.0,
+        check_period_s: float = 5.0,
+        manager_kwargs: Optional[dict] = None,
+    ) -> None:
+        if node_id == primary_node:
+            raise SimulationError("standby must run on a different node than the primary")
+        self.node_id = node_id
+        self.topology = topology
+        self.engine = engine
+        self.network = network
+        self.policy = policy
+        self.snapshot_store = snapshot_store
+        self.primary_node = primary_node
+        self.takeover_silence_s = takeover_silence_s
+        self.check_period_s = check_period_s
+        #: Extra DUSTManager ctor options for the promoted instance
+        #: (retry_policy, periods, ...), mirroring the primary's config.
+        self.manager_kwargs = dict(manager_kwargs or {})
+        self.manager = None  # the promoted DUSTManager after takeover
+        self.took_over_at: Optional[float] = None
+        self.heartbeats_seen = 0
+        self.takeover_aborts = 0
+        self._last_heartbeat = float("-inf")
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise SimulationError("standby already started")
+        self._started = True
+        self._last_heartbeat = self.engine.now  # grace period from start
+        self.network.register(self.node_id, self._receive)
+        self.engine.schedule_periodic(
+            self.check_period_s,
+            lambda engine: self.check(),
+            label="standby-watchdog",
+            condition=lambda: self.manager is None,
+        )
+
+    @property
+    def promoted(self) -> bool:
+        return self.manager is not None
+
+    def _receive(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, ManagerHeartbeat):
+            self.heartbeats_seen += 1
+            self._last_heartbeat = max(self._last_heartbeat, self.engine.now)
+        elif not isinstance(payload, ControlMessage):
+            raise SimulationError("standby received non-DUST payload")
+        # Any other control message is tolerated silently: a lossy
+        # fabric can deliver duplicates long after a failed takeover.
+
+    # -- watchdog ---------------------------------------------------------------
+    def check(self) -> bool:
+        """One watchdog tick; returns True if a takeover happened."""
+        if self.manager is not None:
+            return False
+        if self.engine.now - self._last_heartbeat <= self.takeover_silence_s:
+            return False
+        return self.takeover()
+
+    def takeover(self) -> bool:
+        """Promote: register under the primary's id, restore, resync."""
+        from repro.core.manager import DUSTManager
+
+        manager = DUSTManager(
+            node_id=self.primary_node,
+            topology=self.topology,
+            engine=self.engine,
+            network=self.network,
+            policy=self.policy,
+            snapshot_store=self.snapshot_store,
+            **self.manager_kwargs,
+        )
+        try:
+            manager.start()
+        except SimulationError:
+            # Primary still holds the VIP — heartbeat loss, not a crash.
+            self.takeover_aborts += 1
+            self._last_heartbeat = self.engine.now  # back off a full window
+            return False
+        snapshot = self.snapshot_store.load()
+        if snapshot is not None:
+            manager.restore_snapshot(snapshot)
+        manager.begin_resync()
+        self.manager = manager
+        self.took_over_at = self.engine.now
+        return True

@@ -16,11 +16,22 @@ implementation runs three loops on the discrete-event engine:
 * **keepalive sweeps** — expired destinations are evicted and their
   workloads re-homed onto replicas via REP, or returned to their
   sources via Reclaim when no replica fits.
+
+Lossy-network hardening (opt-in via ``retry_policy``): every handler
+dedups by ``(sender, msg_id)`` with a reply cache, Offload-Request /
+Redirect / REP / Reclaim are retransmitted with exponential backoff
+until their application-level confirmation (Offload-ACK or Receipt)
+arrives, and destinations that exhaust the retry budget are quarantined
+out of the candidate set. With ``snapshot_store`` set the manager
+persists its state (NMDB + ledger + keepalive watch set) on every
+update, heartbeats a standby, and a recovered manager reconciles the
+restored snapshot against client ground truth in a resync round — see
+:mod:`repro.core.failover`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -29,13 +40,19 @@ from repro.core.heuristic import solve_heuristic
 from repro.core.messages import (
     Ack,
     ControlMessage,
+    DedupCache,
     Keepalive,
+    ManagerHeartbeat,
     OffloadAck,
     OffloadCapable,
     OffloadRequest,
+    Receipt,
     Reclaim,
     Redirect,
+    ReliableSender,
     Rep,
+    Resync,
+    RetryPolicy,
     Stat,
 )
 from repro.core.nmdb import NMDB
@@ -53,6 +70,8 @@ from repro.routing.response_time import PathEngine, ResponseTimeModel
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.network_sim import Message, MessageNetwork
 from repro.topology.graph import Topology
+
+_TOL = 1e-9
 
 
 @dataclass
@@ -72,6 +91,25 @@ class ManagerCounters:
     replicas_installed: int = 0
     workloads_returned: int = 0
     reclaims_issued: int = 0
+    # -- reliability / transport (lossy-network hardening) ----------------
+    duplicates_ignored: int = 0
+    stale_stats_dropped: int = 0
+    stale_acks_ignored: int = 0
+    acks_reconfirmed: int = 0
+    probes_sent: int = 0
+    orphans_reclaimed: int = 0
+    destinations_quarantined: int = 0
+    sources_abandoned: int = 0
+    resync_rounds: int = 0
+    resync_recovered: int = 0
+    snapshots_persisted: int = 0
+    # Mirrored from the reliable sender / network by
+    # :meth:`DUSTManager.refresh_transport_counters` so reports see one
+    # consolidated counter block.
+    retransmissions: int = 0
+    sends_gave_up: int = 0
+    network_messages_dropped: int = 0
+    network_duplicates_delivered: int = 0
 
 
 @dataclass(frozen=True)
@@ -102,6 +140,13 @@ class DUSTManager:
         heuristic_fallback: bool = True,
         reclaim_hysteresis_pct: float = 5.0,
         workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        quarantine_s: float = 300.0,
+        probe_grace_s: Optional[float] = None,
+        snapshot_store: Optional["object"] = None,
+        standby_node: Optional[int] = None,
+        heartbeat_period_s: float = 10.0,
+        resync_window_s: float = 120.0,
     ) -> None:
         self.node_id = node_id
         self.topology = topology
@@ -126,6 +171,24 @@ class DUSTManager:
         self.reclaim_hysteresis_pct = reclaim_hysteresis_pct
         #: A node whose last STAT is older than this is treated as gone.
         self.stale_after_s = 2.5 * update_interval_s
+        self.retry_policy = retry_policy
+        self.quarantine_s = quarantine_s
+        # Keepalive silence triggers a reliable probe, not an eviction;
+        # the grace covers the probe's full retry budget plus one more
+        # keepalive period before the destination is written off.
+        if probe_grace_s is None:
+            if retry_policy is not None:
+                probe_grace_s = keepalive_timeout_s + sum(
+                    retry_policy.timeout_for(a)
+                    for a in range(retry_policy.max_retries + 1)
+                )
+            else:
+                probe_grace_s = keepalive_timeout_s
+        self.probe_grace_s = probe_grace_s
+        self.snapshot_store = snapshot_store
+        self.standby_node = standby_node
+        self.heartbeat_period_s = heartbeat_period_s
+        self.resync_window_s = resync_window_s
 
         self.ledger = OffloadLedger()
         self.keepalives = KeepaliveTracker(keepalive_timeout_s)
@@ -136,6 +199,22 @@ class DUSTManager:
         self.placement_history: List[PlacementReport] = []
         self._pending: Dict[Tuple[int, int], _PendingRequest] = {}
         self._started = False
+        self._crashed = False
+        self._dedup = DedupCache()
+        self._reliable: Optional[ReliableSender] = (
+            ReliableSender(network, engine, node_id, retry_policy)
+            if retry_policy is not None
+            else None
+        )
+        self._quarantined: Dict[int, float] = {}  # node -> quarantined until
+        # Redirect msg_id -> source, while the client's Receipt is
+        # outstanding; confirmation times gate re-placing that source.
+        self._unconfirmed_redirects: Dict[int, int] = {}
+        self._redirect_confirmed_at: Dict[int, float] = {}
+        self._probes: Dict[int, float] = {}  # destination -> grace deadline
+        self._probe_failed: Set[int] = set()
+        self._resync_until = float("-inf")
+        self._snapshot_version = 0
 
     # -- lifecycle --------------------------------------------------------------------
     def start(self) -> None:
@@ -148,44 +227,207 @@ class DUSTManager:
             self.optimization_period_s,
             lambda engine: self.run_optimization_round(),
             label="manager-optimize",
+            condition=lambda: not self._crashed,
         )
         self.engine.schedule_periodic(
             self.keepalive_timeout_s / 2.0,
             lambda engine: self.run_keepalive_sweep(),
             label="manager-keepalive-sweep",
+            condition=lambda: not self._crashed,
+        )
+        if self.standby_node is not None:
+            self.engine.schedule_periodic(
+                self.heartbeat_period_s,
+                lambda engine: self._send_heartbeat(),
+                label="manager-heartbeat",
+                first_delay=0.0,
+                condition=lambda: not self._crashed,
+            )
+
+    @property
+    def alive(self) -> bool:
+        return self._started and not self._crashed
+
+    def crash(self) -> None:
+        """Fail-stop the manager: deregister, stop loops and timers.
+
+        The failover path (:class:`~repro.core.failover.StandbyManager`)
+        detects the resulting heartbeat silence and takes over.
+        """
+        if self._crashed:
+            raise ProtocolError("manager already crashed")
+        self._crashed = True
+        self.network.unregister(self.node_id)
+        if self._reliable is not None:
+            self._reliable.cancel_all()
+
+    def _send_heartbeat(self) -> None:
+        self.network.send(
+            self.node_id,
+            self.standby_node,
+            ManagerHeartbeat(
+                manager_node=self.node_id,
+                snapshot_version=self._snapshot_version,
+                timestamp=self.engine.now,
+            ),
+        )
+
+    # -- reliable transport helpers -----------------------------------------------------
+    def _send_ctrl(self, destination: int, payload: ControlMessage, on_give_up=None) -> None:
+        """Send a control message, ACK-gated when hardening is on."""
+        if self._reliable is not None:
+            self._reliable.send(destination, payload, on_give_up=on_give_up)
+        else:
+            self.network.send(self.node_id, destination, payload)
+
+    def _clear_probe(self, node: int) -> None:
+        self._probes.pop(node, None)
+        self._probe_failed.discard(node)
+
+    def _quarantine(self, node: int) -> None:
+        self._quarantined[node] = self.engine.now + self.quarantine_s
+        self.counters.destinations_quarantined += 1
+
+    def quarantined_nodes(self) -> Set[int]:
+        """Currently quarantined nodes (expired entries are purged)."""
+        now = self.engine.now
+        for node in [n for n, until in self._quarantined.items() if until <= now]:
+            del self._quarantined[node]
+        return set(self._quarantined)
+
+    def refresh_transport_counters(self) -> ManagerCounters:
+        """Mirror reliable-sender and network counters into
+        :class:`ManagerCounters` so reports surface drops, duplicates
+        and retransmissions alongside protocol activity."""
+        if self._reliable is not None:
+            self.counters.retransmissions = self._reliable.retransmissions
+            self.counters.sends_gave_up = self._reliable.gave_up
+        self.counters.network_messages_dropped = self.network.messages_dropped
+        self.counters.network_duplicates_delivered = getattr(
+            self.network, "duplicates_injected", 0
+        )
+        return self.counters
+
+    # -- state persistence / failover ----------------------------------------------------
+    def _persist(self) -> None:
+        if self.snapshot_store is None:
+            return
+        self._snapshot_version += 1
+        self.snapshot_store.save(self.export_snapshot())
+        self.counters.snapshots_persisted += 1
+
+    def export_snapshot(self):
+        """Current durable state as a
+        :class:`~repro.core.failover.ManagerSnapshot`."""
+        from repro.core.failover import ManagerSnapshot
+
+        return ManagerSnapshot(
+            version=self._snapshot_version,
+            timestamp=self.engine.now,
+            records=self.nmdb.export_records(),
+            ledger_rows=tuple(dc_replace(o) for o in self.ledger.active),
+            keepalive_watch=self.keepalives.export(),
+        )
+
+    def restore_snapshot(self, snapshot) -> None:
+        """Adopt a predecessor's persisted state (failover takeover).
+
+        Keepalive clocks restart at *now*: destinations get one full
+        timeout to re-heartbeat instead of being mass-evicted for
+        silence that happened while no manager was listening.
+        """
+        self._snapshot_version = snapshot.version
+        self.nmdb.load_records(snapshot.records)
+        for row in snapshot.ledger_rows:
+            self.ledger.add(dc_replace(row))
+        for node in snapshot.keepalive_watch:
+            self.keepalives.record(node, self.engine.now)
+
+    def begin_resync(self) -> int:
+        """Open the post-failover reconciliation window and ask every
+        client for ground truth; returns the number of Resync messages
+        sent."""
+        self._resync_until = self.engine.now + self.resync_window_s
+        self.counters.resync_rounds += 1
+        return self.network.broadcast(
+            self.node_id,
+            Resync(manager_node=self.node_id, timestamp=self.engine.now),
         )
 
     # -- message plane ------------------------------------------------------------------
     def _receive(self, message: Message) -> None:
+        if self._crashed:
+            return
         payload = message.payload
+        if not isinstance(payload, ControlMessage):
+            raise ProtocolError("manager received non-DUST payload")
+        duplicate, cached_reply = self._dedup.check(message.source, payload.msg_id)
+        if duplicate:
+            self.counters.duplicates_ignored += 1
+            if cached_reply is not None:
+                self.network.send(self.node_id, message.source, cached_reply)
+            return
+        reply: Optional[ControlMessage] = None
         if isinstance(payload, OffloadCapable):
-            self.nmdb.register_capability(payload)
-            self.counters.acks_sent += 1
-            self.network.send(
-                self.node_id,
-                payload.node_id,
-                Ack(node_id=payload.node_id, update_interval_s=self.update_interval_s),
-            )
+            reply = self._on_offload_capable(payload)
         elif isinstance(payload, Stat):
-            self.counters.stats_received += 1
-            self.nmdb.apply_stat(payload)
-            self._maybe_reclaim(payload)
+            reply = self._on_stat(payload)
         elif isinstance(payload, OffloadAck):
             self._on_offload_ack(payload)
         elif isinstance(payload, Keepalive):
             self.counters.keepalives_received += 1
             self.keepalives.record(payload.node_id, payload.timestamp)
-        elif isinstance(payload, ControlMessage):
-            raise ProtocolError(f"manager cannot handle {payload.type.value!r}")
+            self._clear_probe(payload.node_id)
+        elif isinstance(payload, Receipt) and self._reliable is not None:
+            self._reliable.acknowledge(payload.acked_msg_id)
+            confirmed_source = self._unconfirmed_redirects.pop(
+                payload.acked_msg_id, None
+            )
+            if confirmed_source is not None:
+                self._redirect_confirmed_at[confirmed_source] = self.engine.now
+            if payload.node_id in self._probes or payload.node_id in self._probe_failed:
+                # Answer to a keepalive probe: the destination lives.
+                self.keepalives.record(payload.node_id, self.engine.now)
+                self._clear_probe(payload.node_id)
         else:
-            raise ProtocolError("manager received non-DUST payload")
+            raise ProtocolError(f"manager cannot handle {payload.type.value!r}")
+        self._dedup.remember(message.source, payload.msg_id, reply)
+
+    def _on_offload_capable(self, payload: OffloadCapable) -> Ack:
+        self.nmdb.register_capability(payload)
+        self._persist()
+        self.counters.acks_sent += 1
+        ack = Ack(node_id=payload.node_id, update_interval_s=self.update_interval_s)
+        self.network.send(self.node_id, payload.node_id, ack)
+        return ack
+
+    def _on_stat(self, payload: Stat) -> Optional[Receipt]:
+        self.counters.stats_received += 1
+        receipt: Optional[Receipt] = None
+        if self._reliable is not None and payload.reliable:
+            # Admission STAT: the client retransmits it until this
+            # receipt lands, so delivery (not content) is confirmed
+            # even for reports the staleness check discards.
+            receipt = Receipt(node_id=self.node_id, acked_msg_id=payload.msg_id)
+            self.network.send(self.node_id, payload.node_id, receipt)
+        # On a reliable fabric an out-of-order STAT means a protocol bug
+        # (strict mode raises); under loss/reordering it is expected —
+        # the stale report is dropped, the newer state wins.
+        applied = self.nmdb.apply_stat(payload, strict=self.retry_policy is None)
+        if not applied:
+            self.counters.stale_stats_dropped += 1
+            return receipt
+        self._persist()
+        self._maybe_reclaim(payload)
+        return receipt
 
     def _on_offload_ack(self, ack: OffloadAck) -> None:
+        if self._reliable is not None:
+            self._reliable.acknowledge(ack.request_id)
         pending = self._pending.pop((ack.source, ack.destination), None)
         if pending is None:
-            raise ProtocolError(
-                f"unexpected Offload-ACK for {ack.source}->{ack.destination}"
-            )
+            self._on_unmatched_ack(ack)
+            return
         if not ack.accepted:
             self.counters.offloads_rejected += 1
             return
@@ -200,29 +442,128 @@ class DUSTManager:
                 via_replica=pending.via_replica,
             )
         )
+        self._persist()
         self.keepalives.watch(pending.destination, self.engine.now)
         # The source is redirected for fresh offloads *and* for replica
         # substitutions — in the latter case its stale mapping to the
         # failed destination was already cancelled during the sweep.
-        self.network.send(
-            self.node_id,
-            pending.source,
-            Redirect(
-                source=pending.source,
-                destination=pending.destination,
-                amount_pct=pending.amount_pct,
-                route=pending.route,
-            ),
+        redirect = Redirect(
+            source=pending.source,
+            destination=pending.destination,
+            amount_pct=pending.amount_pct,
+            route=pending.route,
         )
+        if self._reliable is not None:
+            # Until the source's Receipt lands its capacity reports
+            # still include the redirected load — track the window so
+            # optimization rounds don't re-place the same excess.
+            self._unconfirmed_redirects[redirect.msg_id] = pending.source
+        self._send_ctrl(pending.source, redirect, on_give_up=self._on_redirect_give_up)
+
+    def _on_unmatched_ack(self, ack: OffloadAck) -> None:
+        """An Offload-ACK with no pending request.
+
+        Three legitimate lossy-fabric causes: a resync re-confirmation
+        after failover (rebuild the ledger row the snapshot missed), an
+        acceptance that arrived after the retry budget gave up (the
+        destination hosts an orphan — reclaim it), or a stale/raced
+        duplicate (ignore). On a reliable fabric it is a protocol bug.
+        """
+        in_resync = self.engine.now <= self._resync_until
+        if in_resync and ack.accepted and ack.amount_pct > _TOL:
+            already = any(
+                o.source == ack.source and o.destination == ack.destination
+                for o in self.ledger.active
+            )
+            if not already:
+                self.ledger.add(
+                    ActiveOffload(
+                        source=ack.source,
+                        destination=ack.destination,
+                        amount_pct=ack.amount_pct,
+                        route=(ack.source, ack.destination),
+                        established_at=self.engine.now,
+                    )
+                )
+                self.counters.resync_recovered += 1
+                self._persist()
+            self.keepalives.watch(ack.destination, self.engine.now)
+            return
+        if self.retry_policy is None:
+            raise ProtocolError(
+                f"unexpected Offload-ACK for {ack.source}->{ack.destination}"
+            )
+        if ack.accepted and ack.amount_pct > _TOL:
+            if any(
+                o.source == ack.source and o.destination == ack.destination
+                for o in self.ledger.active
+            ):
+                # Re-confirmation of a row that is still live (e.g. the
+                # destination answered a keepalive probe's Resync):
+                # proof of life, not an orphan.
+                self.counters.acks_reconfirmed += 1
+                self.keepalives.record(ack.destination, self.engine.now)
+                self._clear_probe(ack.destination)
+                return
+            # The give-up already wrote this destination off; undo the
+            # orphaned hosting so client and ledger re-converge.
+            self.counters.orphans_reclaimed += 1
+            self._send_ctrl(
+                ack.destination,
+                Reclaim(
+                    source=ack.source,
+                    destination=ack.destination,
+                    amount_pct=ack.amount_pct,
+                ),
+            )
+            return
+        self.counters.stale_acks_ignored += 1
+
+    # -- give-up (retry budget exhausted) hooks ---------------------------------------
+    def _on_request_give_up(self, destination: int, payload: ControlMessage) -> None:
+        """Offload-Request / REP never confirmed: free the pending slot
+        and quarantine the unreachable destination out of the candidate
+        set before the next placement round."""
+        if isinstance(payload, OffloadRequest):
+            self._pending.pop((payload.source, payload.destination), None)
+        elif isinstance(payload, Rep):
+            self._pending.pop((payload.source, payload.replica), None)
+        self._quarantine(destination)
+
+    def _on_probe_give_up(self, destination: int, payload: ControlMessage) -> None:
+        """A keepalive probe exhausted its retries: the destination is
+        genuinely unreachable, not just unlucky. The next sweep makes
+        the eviction final; quarantine keeps it out of placement."""
+        self._probe_failed.add(destination)
+        self._quarantine(destination)
+
+    def _on_redirect_give_up(self, destination: int, payload: ControlMessage) -> None:
+        """A source never confirmed its Redirect — it is unreachable
+        (likely crashed). Its ledger rows are reclaimed so hosting
+        capacity is not parked for a ghost."""
+        self.counters.sources_abandoned += 1
+        self._unconfirmed_redirects.pop(payload.msg_id, None)
+        for offload in self.ledger.reclaim(destination):
+            self._send_ctrl(
+                offload.destination,
+                Reclaim(
+                    source=offload.source,
+                    destination=offload.destination,
+                    amount_pct=offload.amount_pct,
+                ),
+            )
+        self._persist()
 
     # -- optimization rounds ----------------------------------------------------------------
     def run_optimization_round(self) -> Optional[PlacementReport]:
         """One manager decision cycle; returns the placement report (or
         ``None`` when there was nothing to do)."""
         self.counters.optimization_rounds += 1
+        self.refresh_transport_counters()
         # Expire pending requests whose request or reply was lost (e.g.
         # the endpoint died in flight) so their nodes are not excluded
-        # from placement forever.
+        # from placement forever. (With the reliable sender active the
+        # give-up hook usually clears them first.)
         deadline = self.engine.now - 2.0 * self.optimization_period_s
         for key in [k for k, p in self._pending.items() if p.created_at < deadline]:
             del self._pending[key]
@@ -230,19 +571,57 @@ class DUSTManager:
         # Nodes with in-flight requests are skipped this round to avoid
         # double-committing the same excess/space; nodes whose STATs
         # have gone stale (crashed or never admitted) are excluded
-        # entirely — their NMDB record no longer reflects reality.
+        # entirely — their NMDB record no longer reflects reality;
+        # quarantined nodes proved unreachable and sit out until their
+        # quarantine expires.
         in_flight_sources = {p.source for p in self._pending.values()}
         in_flight_dests = {p.destination for p in self._pending.values()}
         stale = set(self.nmdb.stale_nodes(self.engine.now, self.stale_after_s))
+        quarantined = self.quarantined_nodes()
+        # A node's report must post-date its newest ledger row: a STAT
+        # sent before the Redirect/Offload-Request landed still shows
+        # the pre-assignment load, and acting on it would double-book
+        # the same excess (or over-count a destination's spare). Only
+        # bites under lossy delivery, where redirects arrive late and
+        # the superseding stats can go missing.
+        fresh_cutoff: Dict[int, float] = {}
+        for row in self.ledger.active:
+            for endpoint in (row.source, row.destination):
+                fresh_cutoff[endpoint] = max(
+                    fresh_cutoff.get(endpoint, float("-inf")), row.established_at
+                )
+
+        # Sources with an unconfirmed Redirect in flight (no Receipt
+        # yet) still report pre-redirect load; after confirmation, only
+        # a STAT sent at/after the confirmation proves the redirect
+        # took effect.
+        unconfirmed_sources = set(self._unconfirmed_redirects.values())
+        for source, confirmed_at in self._redirect_confirmed_at.items():
+            fresh_cutoff[source] = max(
+                fresh_cutoff.get(source, float("-inf")), confirmed_at
+            )
+
+        def reported_since_assignment(node: int) -> bool:
+            cutoff = fresh_cutoff.get(node)
+            return cutoff is None or self.nmdb.record(node).last_stat_time >= cutoff
+
         busy = [
             b
             for b in snapshot.busy
-            if b not in in_flight_sources and b != self.node_id and b not in stale
+            if b not in in_flight_sources
+            and b != self.node_id
+            and b not in stale
+            and b not in unconfirmed_sources
+            and reported_since_assignment(b)
         ]
         candidates = [
             c
             for c in snapshot.candidates
-            if c not in in_flight_dests and c != self.node_id and c not in stale
+            if c not in in_flight_dests
+            and c != self.node_id
+            and c not in stale
+            and c not in quarantined
+            and reported_since_assignment(c)
         ]
         if not busy:
             return None
@@ -296,22 +675,48 @@ class DUSTManager:
                 created_at=self.engine.now,
             )
             self.counters.offload_requests_sent += 1
-            self.network.send(self.node_id, assignment.candidate, request)
+            self._send_ctrl(
+                assignment.candidate, request, on_give_up=self._on_request_give_up
+            )
         return report
 
     # -- keepalive sweeps --------------------------------------------------------------------
     def run_keepalive_sweep(self) -> List[int]:
         """Evict expired destinations, re-home their workloads; returns
         the failed destinations."""
-        failed = [
+        now = self.engine.now
+        expired = [
             node
-            for node in self.keepalives.expired(self.engine.now)
+            for node in self.keepalives.expired(now)
             if self.ledger.hosted_by(node)
         ]
+        if self._reliable is None:
+            failed = expired
+        else:
+            # Probe-before-evict: under loss a run of dropped keepalives
+            # is indistinguishable from a crash, and evicting a live
+            # destination diverges the ledger permanently. First expiry
+            # sends a reliable Resync probe instead; the eviction only
+            # becomes final when the probe's retry budget gives up (or
+            # its grace deadline passes). Any sign of life — Keepalive,
+            # probe Receipt, re-confirmation ACK — cancels the probe.
+            failed = []
+            for node in expired:
+                if node in self._probe_failed or self._probes.get(node, float("inf")) <= now:
+                    failed.append(node)
+                elif node not in self._probes:
+                    self._probes[node] = now + self.probe_grace_s
+                    self.counters.probes_sent += 1
+                    self._send_ctrl(
+                        node,
+                        Resync(manager_node=self.node_id, timestamp=now),
+                        on_give_up=self._on_probe_give_up,
+                    )
         if not failed:
             return []
         snapshot = self.nmdb.snapshot(self.engine.now)
         stale = set(self.nmdb.stale_nodes(self.engine.now, self.stale_after_s))
+        quarantined = self.quarantined_nodes()
         for dest in failed:
             self.counters.destinations_failed += 1
             # Aggregate per source: the ledger may hold several rows for
@@ -333,12 +738,13 @@ class DUSTManager:
                 for source, amount in sorted(evicted_by_source.items())
             ]
             self.keepalives.forget(dest)
+            self._clear_probe(dest)
+            self._persist()
             for offload in evicted:
                 # Cancel the source's mapping to the dead destination up
                 # front; a replica Redirect (or nothing, if the load
                 # returns home) follows below.
-                self.network.send(
-                    self.node_id,
+                self._send_ctrl(
                     offload.source,
                     Reclaim(
                         source=offload.source,
@@ -353,7 +759,7 @@ class DUSTManager:
                     data_mb=float(snapshot.data_mb[offload.source]),
                     capacities=snapshot.capacities,
                     policy=self.policy,
-                    exclude=[dest, self.node_id, *stale],
+                    exclude=[dest, self.node_id, *stale, *quarantined],
                 )
                 if replica is None:
                     # No replica fits: the up-front Reclaim already
@@ -370,8 +776,7 @@ class DUSTManager:
                     via_replica=True,
                     created_at=self.engine.now,
                 )
-                self.network.send(
-                    self.node_id,
+                self._send_ctrl(
                     replica,
                     Rep(
                         replica=replica,
@@ -380,6 +785,7 @@ class DUSTManager:
                         amount_pct=offload.amount_pct,
                         route=route,
                     ),
+                    on_give_up=self._on_request_give_up,
                 )
         return failed
 
@@ -398,5 +804,6 @@ class DUSTManager:
                     destination=offload.destination,
                     amount_pct=offload.amount_pct,
                 )
-                self.network.send(self.node_id, offload.destination, reclaim)
-                self.network.send(self.node_id, offload.source, reclaim)
+                self._send_ctrl(offload.destination, reclaim)
+                self._send_ctrl(offload.source, reclaim)
+            self._persist()

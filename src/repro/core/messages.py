@@ -12,14 +12,29 @@ The workflow:
    D_i … is subsequently redirected");
 5. destinations send **Keepalive** while hosting; a missed keepalive
    makes the manager substitute a replica and announce it via **REP**.
+
+Beyond the paper's vocabulary, this module carries the reliability
+layer the lossy-network mode needs (the paper assumes a stable fabric):
+
+* **Receipt** — an application-level delivery confirmation for the two
+  message types that have no protocol-level reply (Redirect, Reclaim),
+  so their retransmission can be ACK-gated like Offload-Request/REP;
+* **ManagerHeartbeat** / **Resync** — primary→standby liveness and the
+  post-failover state-reconciliation round;
+* :class:`RetryPolicy` / :class:`ReliableSender` — ACK-gated
+  retransmission with exponential backoff and a retry budget;
+* :class:`DedupCache` — bounded per-sender duplicate suppression with a
+  reply cache, making every handler idempotent under duplication and
+  retransmission.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 _message_counter = itertools.count()
 
@@ -34,6 +49,9 @@ class MessageType(enum.Enum):
     KEEPALIVE = "keepalive"
     REP = "rep"
     RECLAIM = "reclaim"
+    RECEIPT = "receipt"
+    MANAGER_HEARTBEAT = "manager-heartbeat"
+    RESYNC = "resync"
 
 
 @dataclass(frozen=True)
@@ -80,6 +98,12 @@ class Stat(ControlMessage):
     ``capacity_pct`` is the node's utilized capacity ``C_j``;
     ``data_mb`` the monitoring volume ``D_i`` it would export if
     offloaded; ``num_agents`` the installed monitor-agent count.
+
+    ``reliable`` marks an admission STAT: a hardened client sets it on
+    every report until the manager confirms one with a Receipt, so a
+    lossy fabric cannot keep a node out of the candidate set. Steady-
+    state reports leave it False — they are naturally redundant, the
+    next period supersedes a lost one.
     """
 
     node_id: int
@@ -87,6 +111,7 @@ class Stat(ControlMessage):
     data_mb: float
     num_agents: int
     timestamp: float
+    reliable: bool = False
 
     @property
     def type(self) -> MessageType:
@@ -111,12 +136,21 @@ class OffloadRequest(ControlMessage):
 
 @dataclass(frozen=True)
 class OffloadAck(ControlMessage):
-    """Destination → Manager: accept/reject a hosting request."""
+    """Destination → Manager: accept/reject a hosting request.
+
+    ``request_id`` echoes the ``msg_id`` of the Offload-Request / REP
+    being answered so the manager's reliable sender can cancel the
+    matching retransmission timer; ``amount_pct`` is only meaningful in
+    resync re-confirmations (it lets a recovering manager rebuild a
+    ledger row the snapshot missed).
+    """
 
     destination: int
     source: int
     accepted: bool
     reason: str = ""
+    request_id: Optional[int] = None
+    amount_pct: float = 0.0
 
     @property
     def type(self) -> MessageType:
@@ -180,3 +214,219 @@ class Reclaim(ControlMessage):
     @property
     def type(self) -> MessageType:
         return MessageType.RECLAIM
+
+
+@dataclass(frozen=True)
+class Receipt(ControlMessage):
+    """Client → Manager: delivery confirmation for a Redirect/Reclaim.
+
+    Those two message types have no protocol-level response in the
+    paper, so under lossy transport their retransmission is gated on
+    this receipt instead. ``acked_msg_id`` is the confirmed message's
+    ``msg_id``.
+    """
+
+    node_id: int
+    acked_msg_id: int
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.RECEIPT
+
+
+@dataclass(frozen=True)
+class ManagerHeartbeat(ControlMessage):
+    """Primary manager → standby: liveness beacon carrying the latest
+    persisted snapshot version (for observability; the snapshot itself
+    lives in stable storage, not on the wire)."""
+
+    manager_node: int
+    snapshot_version: int
+    timestamp: float
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.MANAGER_HEARTBEAT
+
+
+@dataclass(frozen=True)
+class Resync(ControlMessage):
+    """New primary → all clients after failover: report your state now.
+
+    Clients answer with an immediate STAT plus one accepting
+    Offload-ACK per hosted workload (carrying ``amount_pct``), letting
+    the manager reconcile the restored snapshot against ground truth.
+    """
+
+    manager_node: int
+    timestamp: float
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.RESYNC
+
+
+# ---------------------------------------------------------------------------
+# Reliability layer: retry policy, ACK-gated retransmission, dedup.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission schedule for ACK-gated control messages.
+
+    The first retransmission fires ``base_timeout_s`` after the
+    original send; each subsequent one backs off by ``backoff`` up to
+    ``max_timeout_s``. After ``max_retries`` unacknowledged
+    retransmissions the sender gives up and invokes the caller's
+    give-up hook (graceful degradation, not an exception).
+    """
+
+    base_timeout_s: float = 5.0
+    backoff: float = 2.0
+    max_timeout_s: float = 60.0
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base_timeout_s <= 0 or self.max_timeout_s < self.base_timeout_s:
+            raise ValueError("need 0 < base_timeout_s <= max_timeout_s")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout preceding retransmission ``attempt`` (0-based)."""
+        return min(self.base_timeout_s * self.backoff**attempt, self.max_timeout_s)
+
+
+class DedupCache:
+    """Bounded (sender, msg_id) duplicate filter with a reply cache.
+
+    ``check`` returns ``(is_duplicate, cached_reply)``; handlers that
+    answered a request remember the reply via ``remember`` so a
+    retransmitted request re-elicits the same answer without the state
+    transition running twice — the classic at-most-once RPC cache.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._seen: "OrderedDict[Tuple[int, int], Optional[ControlMessage]]" = OrderedDict()
+
+    def check(self, sender: int, msg_id: int) -> Tuple[bool, Optional["ControlMessage"]]:
+        key = (sender, msg_id)
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            return True, self._seen[key]
+        return False, None
+
+    def remember(
+        self, sender: int, msg_id: int, reply: Optional["ControlMessage"] = None
+    ) -> None:
+        self._seen[(sender, msg_id)] = reply
+        self._seen.move_to_end((sender, msg_id))
+        while len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+
+    def clear(self) -> None:
+        self._seen.clear()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+@dataclass
+class _Outstanding:
+    """One un-acknowledged reliable send."""
+
+    destination: int
+    payload: Any
+    attempt: int  # retransmissions performed so far
+    timer: Any  # ScheduledEvent
+    on_give_up: Optional[Callable[[int, Any], None]]
+
+
+class ReliableSender:
+    """ACK-gated retransmission on top of a fire-and-forget network.
+
+    Each reliable send is keyed on the payload's ``msg_id``;
+    ``acknowledge(msg_id)`` (called when the application-level response
+    arrives) cancels the pending timer. On a loss-free fabric no timer
+    ever fires, so behaviour — counters included — is identical to
+    plain sends.
+    """
+
+    def __init__(self, network, engine, node_id: int, policy: RetryPolicy) -> None:
+        self.network = network
+        self.engine = engine
+        self.node_id = node_id
+        self.policy = policy
+        self._outstanding: Dict[int, _Outstanding] = {}
+        self.retransmissions = 0
+        self.gave_up = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._outstanding)
+
+    def send(
+        self,
+        destination: int,
+        payload: "ControlMessage",
+        on_give_up: Optional[Callable[[int, Any], None]] = None,
+    ) -> None:
+        """Send ``payload`` and retransmit until acknowledged or the
+        retry budget is exhausted (then ``on_give_up(dest, payload)``)."""
+        key = payload.msg_id
+        if key in self._outstanding:  # already in flight: keep its timer
+            return
+        self.network.send(self.node_id, destination, payload)
+        entry = _Outstanding(
+            destination=destination, payload=payload, attempt=0, timer=None,
+            on_give_up=on_give_up,
+        )
+        self._outstanding[key] = entry
+        self._arm(key, entry)
+
+    def _arm(self, key: int, entry: _Outstanding) -> None:
+        entry.timer = self.engine.schedule_after(
+            self.policy.timeout_for(entry.attempt),
+            lambda engine, key=key: self._on_timeout(key),
+            label=f"retx-{self.node_id}-{key}",
+        )
+
+    def _on_timeout(self, key: int) -> None:
+        entry = self._outstanding.get(key)
+        if entry is None:  # acknowledged in the meantime
+            return
+        if entry.attempt >= self.policy.max_retries:
+            del self._outstanding[key]
+            self.gave_up += 1
+            if entry.on_give_up is not None:
+                entry.on_give_up(entry.destination, entry.payload)
+            return
+        entry.attempt += 1
+        self.retransmissions += 1
+        self.network.send(self.node_id, entry.destination, entry.payload)
+        self._arm(key, entry)
+
+    def acknowledge(self, msg_id: Optional[int]) -> bool:
+        """Cancel the retransmission for ``msg_id``; returns whether one
+        was outstanding (``None`` ids — legacy acks — are ignored)."""
+        if msg_id is None:
+            return False
+        entry = self._outstanding.pop(msg_id, None)
+        if entry is None:
+            return False
+        if entry.timer is not None:
+            entry.timer.cancel()
+        return True
+
+    def cancel_all(self) -> None:
+        """Drop every outstanding send (e.g. the endpoint crashed)."""
+        for entry in self._outstanding.values():
+            if entry.timer is not None:
+                entry.timer.cancel()
+        self._outstanding.clear()

@@ -115,6 +115,93 @@ def mean_hops(report: PlacementReport) -> float:
     return float((amounts * hops).sum() / total)
 
 
+# -- resilience metrics (chaos harness) --------------------------------------------
+#
+# A placement "signature" is the canonical, order-free description of
+# who hosts what: sorted (source, destination, rounded amount) triples.
+# Two runs converged to the same placement iff their signatures match.
+
+AssignmentSignature = tuple
+
+
+def assignment_signature(
+    offloads: Iterable, *, amount_decimals: int = 6
+) -> AssignmentSignature:
+    """Canonical signature of a set of active offloads.
+
+    Accepts anything with ``source`` / ``destination`` / ``amount_pct``
+    attributes (e.g. :class:`~repro.core.offload.ActiveOffload`);
+    amounts for the same (source, destination) pair are summed so a
+    ledger holding one 10% row and a ledger holding two 5% rows for the
+    same pair compare equal.
+    """
+    totals: Dict[tuple, float] = {}
+    for o in offloads:
+        key = (int(o.source), int(o.destination))
+        totals[key] = totals.get(key, 0.0) + float(o.amount_pct)
+    return tuple(
+        (src, dst, round(amount, amount_decimals))
+        for (src, dst), amount in sorted(totals.items())
+    )
+
+
+def placement_divergence(
+    reference: AssignmentSignature, observed: AssignmentSignature
+) -> float:
+    """Fraction of offloaded load placed differently from the reference.
+
+    Computed as the symmetric difference of per-(source, destination)
+    amounts, normalised by the total reference amount — 0.0 means the
+    observed placement is exactly the reference, 1.0 means none of the
+    reference load sits where the reference put it (extra, misplaced
+    load can push the value above 1). With an empty reference, any
+    observed load counts as full divergence.
+    """
+    ref = {(s, d): a for s, d, a in reference}
+    obs = {(s, d): a for s, d, a in observed}
+    total_ref = sum(ref.values())
+    mismatch = sum(
+        abs(ref.get(key, 0.0) - obs.get(key, 0.0)) for key in set(ref) | set(obs)
+    )
+    if total_ref <= _TOL:
+        return 0.0 if mismatch <= _TOL else 1.0
+    return mismatch / total_ref
+
+
+def recovery_time_s(
+    checkpoints: Sequence, reference: AssignmentSignature, disruption_time: float
+) -> Optional[float]:
+    """Time from a disruption until the placement re-converged for good.
+
+    ``checkpoints`` is a time-ordered sequence of ``(time, signature)``
+    pairs sampled during the run. Recovery is the earliest checkpoint at
+    or after ``disruption_time`` whose signature — and every later
+    checkpoint's — matches the reference (a transient match that
+    diverges again does not count). Returns ``None`` when the run never
+    re-converged.
+    """
+    recovered_at: Optional[float] = None
+    for when, signature in checkpoints:
+        if when < disruption_time:
+            continue
+        if signature == reference:
+            if recovered_at is None:
+                recovered_at = when
+        else:
+            recovered_at = None
+    if recovered_at is None:
+        return None
+    return max(0.0, recovered_at - disruption_time)
+
+
+def message_overhead_pct(faulty_sent: int, baseline_sent: int) -> float:
+    """Extra control messages a lossy run cost, relative to the
+    fault-free baseline (0 when the baseline sent nothing)."""
+    if baseline_sent <= 0:
+        return 0.0
+    return 100.0 * (faulty_sent - baseline_sent) / baseline_sent
+
+
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> float:
     """Least-squares exponent of ``y ~ x^a`` (log–log regression).
 

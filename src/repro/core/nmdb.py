@@ -85,14 +85,21 @@ class NMDB:
             rec, capable=msg.capable, c_max=msg.c_max, co_max=msg.co_max
         )
 
-    def apply_stat(self, msg: Stat) -> None:
-        """Apply a STAT report (stale reports are rejected)."""
+    def apply_stat(self, msg: Stat, strict: bool = True) -> bool:
+        """Apply a STAT report; returns ``True`` if it was applied.
+
+        Out-of-order reports raise in ``strict`` mode (a reliable fabric
+        should never reorder) and are silently dropped otherwise — under
+        loss/reordering the newest report simply wins.
+        """
         rec = self._record(msg.node_id)
         if msg.timestamp < rec.last_stat_time:
-            raise ProtocolError(
-                f"out-of-order STAT from node {msg.node_id}: "
-                f"{msg.timestamp} < {rec.last_stat_time}"
-            )
+            if strict:
+                raise ProtocolError(
+                    f"out-of-order STAT from node {msg.node_id}: "
+                    f"{msg.timestamp} < {rec.last_stat_time}"
+                )
+            return False
         self._records[msg.node_id] = replace(
             rec,
             capacity_pct=msg.capacity_pct,
@@ -100,6 +107,7 @@ class NMDB:
             num_agents=msg.num_agents,
             last_stat_time=msg.timestamp,
         )
+        return True
 
     def set_capacity(self, node_id: int, capacity_pct: float) -> None:
         """Direct capacity write (used by simulators that bypass the
@@ -148,6 +156,18 @@ class NMDB:
             for nid, rec in self._records.items()
             if now - rec.last_stat_time > max_age_s
         ]
+
+    def export_records(self) -> Dict[int, NodeRecord]:
+        """Copy of the record table (records are frozen, safe to share)
+        — the NMDB part of a manager snapshot."""
+        return dict(self._records)
+
+    def load_records(self, records: Dict[int, NodeRecord]) -> None:
+        """Adopt persisted records (failover restore); nodes absent from
+        the snapshot keep their blank defaults."""
+        for node_id, rec in records.items():
+            self._record(node_id)  # validate the id exists
+            self._records[node_id] = rec
 
     def snapshot(self, now: float = 0.0) -> NetworkSnapshot:
         """Assemble the placement input from current records."""

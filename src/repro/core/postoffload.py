@@ -122,6 +122,11 @@ class KeepaliveTracker:
             if now - seen > self.timeout_s
         )
 
+    def export(self) -> Dict[int, float]:
+        """Copy of the watch table — the keepalive part of a manager
+        snapshot."""
+        return dict(self._last_seen)
+
     @property
     def tracked(self) -> Tuple[int, ...]:
         return tuple(sorted(self._last_seen))

@@ -21,7 +21,6 @@ bench ``benchmarks/bench_ablation_zoning.py`` quantifies the trade.
 
 from __future__ import annotations
 
-import pickle
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -35,7 +34,7 @@ from repro.core.placement import (
     PlacementReport,
 )
 from repro.errors import PlacementError, TopologyError
-from repro.parallel import make_executor, resolve_workers
+from repro.parallel import map_with_pool_retry, resolve_workers
 from repro.topology.graph import NodeKind, Topology
 
 _TOL = 1e-9
@@ -270,8 +269,7 @@ class ZonedPlacementEngine:
         if workers <= 1 or len(problems) < 2:
             return [self.engine.solve(p) for p in problems]
         payloads = [(self.engine, p) for p in problems]
-        try:
-            with make_executor(workers) as pool:
-                return list(pool.map(_solve_zone, payloads))
-        except (OSError, PermissionError, RuntimeError, pickle.PicklingError):
+        reports = map_with_pool_retry(_solve_zone, payloads, workers)
+        if reports is None:
             return [self.engine.solve(p) for p in problems]
+        return reports

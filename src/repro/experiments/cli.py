@@ -42,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="also write the results as a markdown report to this path",
     )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write machine-readable metrics to this path (experiments "
+        "that support it: resilience)",
+    )
     return parser
 
 
@@ -55,6 +60,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["iterations"] = args.iterations
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.json is not None:
+        overrides["json_path"] = args.json
     ids = (
         [e.experiment_id for e in all_experiments()]
         if args.experiment == "all"
@@ -66,6 +73,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         entry_overrides = dict(overrides)
         if eid in ("fig10", "fig11", "fig12") and "iterations" in entry_overrides:
             entry_overrides.pop("iterations")
+        if eid != "resilience":
+            entry_overrides.pop("json_path", None)
         result = run_experiment(eid, quick=args.quick, **entry_overrides)
         results.append(result)
         print(result.to_text())

@@ -10,6 +10,7 @@ from repro.experiments import (
     extra_convention,
     extra_hops,
     extra_overhead,
+    extra_resilience,
     fig1_cpu_monitoring,
     fig6_offload_savings,
     fig7_infeasible_rate,
@@ -86,6 +87,10 @@ _register(ExperimentEntry(
 _register(ExperimentEntry(
     "overhead", "Control-plane message volume vs update interval (extra)",
     extra_overhead.run, {"intervals": (60.0, 300.0), "horizon_s": 1800.0},
+))
+_register(ExperimentEntry(
+    "resilience", "Chaos resilience: lossy fabric + manager failover (extra)",
+    extra_resilience.run, {"seeds": (0,), "horizon_s": 1800.0},
 ))
 
 #: Paper figures, in publication order (the `all` target).

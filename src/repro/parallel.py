@@ -20,8 +20,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List, Optional, Sequence, TypeVar
+import pickle
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ReproError
 
@@ -79,6 +85,36 @@ def make_executor(workers: int, kind: str = "process") -> Executor:
         # Pool machinery unavailable (restricted sandbox): degrade to
         # threads — correctness is unaffected, only speed.
         return ThreadPoolExecutor(max_workers=workers)
+
+
+def map_with_pool_retry(
+    fn: Callable[..., T],
+    payloads: Sequence,
+    workers: int,
+    kind: str = "process",
+) -> Optional[List[T]]:
+    """``pool.map`` that survives worker death.
+
+    A ``BrokenProcessPool`` (a worker was OOM-killed or segfaulted)
+    poisons the whole executor, so the pending round would otherwise
+    crash with it. This helper rebuilds the pool once and replays the
+    full payload list — tasks are pure functions of their payloads, so
+    a replay is safe. Returns ``None`` when the retry also fails (or
+    the pool cannot run at all): callers keep their existing serial
+    fallback, which is always correct, just slower.
+    """
+    for attempt in range(2):
+        try:
+            with make_executor(workers, kind) as pool:
+                return list(pool.map(fn, payloads))
+        except BrokenExecutor:
+            # Worker death; one rebuild, then give up to the caller.
+            # (Must precede RuntimeError: BrokenExecutor subclasses it.)
+            if attempt == 1:
+                return None
+        except (OSError, PermissionError, RuntimeError, pickle.PicklingError):
+            return None
+    return None
 
 
 def chunk_evenly(items: Sequence[T], chunks: int) -> List[List[T]]:

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.parallel import chunk_evenly, make_executor, resolve_workers
+from repro.parallel import chunk_evenly, map_with_pool_retry, resolve_workers
 from repro.routing.response_time import (
     PathEngine,
     ResponseTimeModel,
@@ -310,11 +310,12 @@ class TrminEngine:
             (model, topology, chunk, list(destinations), with_paths)
             for chunk in chunks
         ]
-        try:
-            with make_executor(workers, self.executor_kind) as pool:
-                results = list(pool.map(_price_chunk, payloads))
-        except (OSError, PermissionError, RuntimeError):
-            # Pool died (fork bomb guard, sandbox, ...): serial fallback.
+        results = map_with_pool_retry(
+            _price_chunk, payloads, workers, self.executor_kind
+        )
+        if results is None:
+            # Pool unusable even after a one-shot rebuild (fork bomb
+            # guard, sandbox, worker death ×2): serial fallback.
             self.stats.serial_computes += 1
             return model.resistance_matrix(
                 topology, list(sources), list(destinations), with_paths=with_paths

@@ -2,25 +2,62 @@
 
 from __future__ import annotations
 
-from repro.simulation.failures import FailureEvent, FailureInjector
+from repro.simulation.failures import FailureEvent, FailureInjector, LinkFailureEvent
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import ScheduledEvent
-from repro.simulation.network_sim import Message, MessageNetwork
+from repro.simulation.network_sim import (
+    FaultConfig,
+    FaultyNetwork,
+    Message,
+    MessageNetwork,
+)
 from repro.simulation.profiles import DiurnalProfile, RandomWalkProfile, SpikeProfile
 from repro.simulation.random import rng_from, spawn_seeds
 from repro.simulation.traffic import GravityTrafficMatrix
 
+# The chaos harness (repro.simulation.chaos) composes this package with
+# repro.core, whose modules import repro.simulation.engine — so its
+# names are loaded lazily (PEP 562) to keep the import graph acyclic.
+_CHAOS_EXPORTS = frozenset(
+    {
+        "ChaosRunResult",
+        "ChaosScenario",
+        "ScenarioComparison",
+        "default_scenario",
+        "evaluate_scenario",
+        "run_scenario",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from repro.simulation import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ChaosRunResult",
+    "ChaosScenario",
     "FailureEvent",
     "FailureInjector",
+    "FaultConfig",
+    "FaultyNetwork",
     "DiurnalProfile",
     "GravityTrafficMatrix",
+    "LinkFailureEvent",
     "Message",
     "MessageNetwork",
     "RandomWalkProfile",
+    "ScenarioComparison",
     "ScheduledEvent",
     "SpikeProfile",
     "SimulationEngine",
+    "default_scenario",
+    "evaluate_scenario",
     "rng_from",
+    "run_scenario",
     "spawn_seeds",
 ]

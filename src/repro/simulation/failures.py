@@ -5,6 +5,12 @@ clock, either from an explicit scenario or from an exponential
 failure/repair process. Used by the failure-recovery example and the
 post-offload resilience tests to exercise keepalive expiry, REP replica
 substitution, and client re-admission.
+
+Besides node churn, the injector can take links up and down. A downed
+link is modelled as fully saturated (utilization 1.0, so its effective
+bandwidth collapses to the Trmin floor and routes steer around it) via
+the :class:`~repro.topology.graph.Topology` mutation API — the version
+counter bumps, so version-keyed route caches reprice honestly.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.simulation.engine import SimulationEngine
+from repro.topology.graph import Topology
 
 
 @dataclass(frozen=True)
@@ -33,6 +40,21 @@ class FailureEvent:
             raise SimulationError("failure events need non-negative times")
 
 
+@dataclass(frozen=True)
+class LinkFailureEvent:
+    """One scheduled link transition."""
+
+    time: float
+    edge_id: int
+    kind: str  # "down" or "up"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("down", "up"):
+            raise SimulationError(f"unknown link event kind {self.kind!r}")
+        if self.time < 0:
+            raise SimulationError("link events need non-negative times")
+
+
 class FailureInjector:
     """Applies a crash/recover schedule to a set of clients.
 
@@ -40,22 +62,73 @@ class FailureInjector:
     and an ``alive`` attribute (duck-typed so tests can use doubles).
     """
 
-    def __init__(self, engine: SimulationEngine, clients: Dict[int, object]) -> None:
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        clients: Dict[int, object],
+        topology: Optional[Topology] = None,
+    ) -> None:
         self.engine = engine
         self.clients = clients
+        self.topology = topology
         self.applied: List[FailureEvent] = []
+        self.applied_links: List[LinkFailureEvent] = []
+        self._saved_utilization: Dict[int, float] = {}
 
     # -- explicit scenarios ---------------------------------------------------------
     def schedule(self, events: Sequence[FailureEvent]) -> None:
-        """Schedule an explicit event list (validated against clients)."""
+        """Schedule an explicit event list (validated against clients
+        and the engine clock — the past cannot be scheduled)."""
         for event in events:
             if event.node_id not in self.clients:
                 raise SimulationError(f"no client for node {event.node_id}")
+            if event.time < self.engine.now:
+                raise SimulationError(
+                    f"failure event at t={event.time} is in the past "
+                    f"(engine clock is at {self.engine.now})"
+                )
+        for event in events:
             self.engine.schedule_at(
                 event.time,
                 lambda engine, ev=event: self._apply(ev),
                 label=f"{event.kind}-{event.node_id}",
             )
+
+    def schedule_links(self, events: Sequence[LinkFailureEvent]) -> None:
+        """Schedule link up/down transitions (requires ``topology``)."""
+        if self.topology is None:
+            raise SimulationError("link events need a topology to mutate")
+        for event in events:
+            self.topology.link(event.edge_id)  # validates existence
+            if event.time < self.engine.now:
+                raise SimulationError(
+                    f"link event at t={event.time} is in the past "
+                    f"(engine clock is at {self.engine.now})"
+                )
+        for event in events:
+            self.engine.schedule_at(
+                event.time,
+                lambda engine, ev=event: self._apply_link(ev),
+                label=f"link-{event.kind}-{event.edge_id}",
+            )
+
+    def _apply_link(self, event: LinkFailureEvent) -> None:
+        link = self.topology.link(event.edge_id)
+        if event.kind == "down":
+            if event.edge_id in self._saved_utilization:
+                return  # already down
+            self._saved_utilization[event.edge_id] = link.utilization
+            # Saturating the link floors its effective bandwidth, so
+            # Trmin routing steers around it; set_utilization bumps the
+            # topology version and marks the edge dirty.
+            self.topology.set_utilization(event.edge_id, 1.0)
+        else:
+            if event.edge_id not in self._saved_utilization:
+                return  # never went down (or already restored)
+            self.topology.set_utilization(
+                event.edge_id, self._saved_utilization.pop(event.edge_id)
+            )
+        self.applied_links.append(event)
 
     def _apply(self, event: FailureEvent) -> None:
         client = self.clients[event.node_id]

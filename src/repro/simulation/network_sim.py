@@ -7,12 +7,20 @@ a latency equal to the hop-path latency on the underlying topology, via
 the discrete-event engine. Endpoints register a receive callback;
 unreachable destinations raise immediately (the control network is the
 same fabric, which the paper assumes stable).
+
+:class:`FaultyNetwork` drops that stability assumption: a seeded
+:class:`FaultConfig` injects per-link message drops, delay jitter,
+duplication, explicit reordering delays, and network partitions — the
+fault model the hardened protocol (dedup + ACK-gated retransmission in
+:mod:`repro.core`) is exercised against. With a null config it is
+byte-identical to :class:`MessageNetwork` (no RNG draws, same counters,
+same delivery order).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -104,9 +112,16 @@ class MessageNetwork:
         if destination not in self._receivers:
             self.messages_dropped += 1
             return
-        latency = self.latency_between(source, destination)
-        sent_at = self.engine.now
         self.messages_sent += 1
+        self._schedule_delivery(
+            source, destination, payload, self.latency_between(source, destination)
+        )
+
+    def _schedule_delivery(
+        self, source: int, destination: int, payload: Any, delay: float
+    ) -> None:
+        """Shared delivery machinery: one queued in-flight copy."""
+        sent_at = self.engine.now
 
         def deliver(engine: SimulationEngine) -> None:
             receiver = self._receivers.get(destination)
@@ -124,7 +139,7 @@ class MessageNetwork:
                 )
             )
 
-        self.engine.schedule_after(latency, deliver, label=f"msg {source}->{destination}")
+        self.engine.schedule_after(delay, deliver, label=f"msg {source}->{destination}")
 
     def broadcast(self, source: int, payload: Any) -> int:
         """Send to every registered endpoint except ``source``; returns
@@ -135,3 +150,171 @@ class MessageNetwork:
                 self.send(source, node_id, payload)
                 count += 1
         return count
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Message-fault model for :class:`FaultyNetwork`.
+
+    All probabilities are per in-flight message. ``per_link_drop`` maps
+    an *unordered* node pair to a drop probability overriding
+    ``drop_probability`` for traffic between those two endpoints.
+    ``partitions`` (when non-empty) splits the network into islands:
+    a message passes only when some group contains both endpoints, or
+    neither endpoint appears in any group (the implicit "rest" island).
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    jitter_s: float = 0.0  # extra delivery delay ~ U(0, jitter_s)
+    reorder_probability: float = 0.0
+    reorder_extra_s: float = 0.5  # added delay for a reordered message
+    per_link_drop: Mapping[Tuple[int, int], float] = field(default_factory=dict)
+    partitions: Tuple[FrozenSet[int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability", "reorder_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {value}")
+        if self.jitter_s < 0 or self.reorder_extra_s < 0:
+            raise SimulationError("jitter/reorder delays must be non-negative")
+        for pair, prob in self.per_link_drop.items():
+            if not 0.0 <= prob <= 1.0:
+                raise SimulationError(f"per-link drop for {pair} must be in [0, 1]")
+        object.__setattr__(
+            self,
+            "per_link_drop",
+            {(min(a, b), max(a, b)): float(p) for (a, b), p in self.per_link_drop.items()},
+        )
+        object.__setattr__(
+            self, "partitions", tuple(frozenset(g) for g in self.partitions)
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the config cannot alter any message's fate."""
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and self.jitter_s == 0.0
+            and self.reorder_probability == 0.0
+            and not self.per_link_drop
+            and not self.partitions
+        )
+
+    def drop_for(self, source: int, destination: int) -> float:
+        key = (min(source, destination), max(source, destination))
+        return self.per_link_drop.get(key, self.drop_probability)
+
+
+#: One fault-network event-log row: (time, kind, source, destination, detail).
+FaultLogEntry = Tuple[float, str, int, int, str]
+
+
+class FaultyNetwork(MessageNetwork):
+    """A :class:`MessageNetwork` whose fabric misbehaves on purpose.
+
+    Every probabilistic decision comes from one seeded generator, so a
+    chaos run is a pure function of ``(scenario, seed)`` — the
+    determinism test replays a scenario and asserts the event logs are
+    identical. The fault pipeline per message: partition check → drop
+    lottery → jitter/reorder delay → optional duplicate (with its own
+    independent jitter).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        engine: SimulationEngine,
+        faults: Optional[FaultConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology, engine)
+        self.faults = faults if faults is not None else FaultConfig()
+        self._rng = np.random.default_rng(seed)
+        self._partitions: Tuple[FrozenSet[int], ...] = self.faults.partitions
+        self.faults_dropped = 0
+        self.partition_dropped = 0
+        self.duplicates_injected = 0
+        self.reordered = 0
+        self.event_log: List[FaultLogEntry] = []
+
+    # -- partitions -------------------------------------------------------------
+    def set_partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Activate a partition mid-run (e.g. from a chaos scenario)."""
+        self._partitions = tuple(frozenset(g) for g in groups)
+
+    def heal_partition(self) -> None:
+        self._partitions = ()
+
+    def _partition_blocks(self, source: int, destination: int) -> bool:
+        if not self._partitions:
+            return False
+        grouped_src = grouped_dst = False
+        for group in self._partitions:
+            in_src, in_dst = source in group, destination in group
+            if in_src and in_dst:
+                return False
+            grouped_src |= in_src
+            grouped_dst |= in_dst
+        # Both outside every group → together in the "rest" island.
+        return grouped_src or grouped_dst
+
+    # -- faulty sending ---------------------------------------------------------
+    def _log(self, kind: str, source: int, destination: int, payload: Any) -> None:
+        detail = type(payload).__name__
+        self.event_log.append((self.engine.now, kind, source, destination, detail))
+
+    def send(self, source: int, destination: int, payload: Any) -> None:
+        if self.faults.is_null and not self._partitions:
+            # Byte-identical fast path: no RNG draw, no logging overhead
+            # beyond the base counters.
+            super().send(source, destination, payload)
+            return
+        self.topology.node(destination)
+        if self._partition_blocks(source, destination):
+            self.messages_dropped += 1
+            self.partition_dropped += 1
+            self._log("partition-drop", source, destination, payload)
+            return
+        if destination not in self._receivers:
+            self.messages_dropped += 1
+            return
+        self.messages_sent += 1
+        p_drop = self.faults.drop_for(source, destination)
+        if p_drop > 0.0 and self._rng.random() < p_drop:
+            self.messages_dropped += 1
+            self.faults_dropped += 1
+            self._log("drop", source, destination, payload)
+            return
+        base_latency = self.latency_between(source, destination)
+        self._schedule_delivery(
+            source, destination, payload, base_latency + self._extra_delay(source, destination, payload)
+        )
+        self._log("send", source, destination, payload)
+        if (
+            self.faults.duplicate_probability > 0.0
+            and self._rng.random() < self.faults.duplicate_probability
+        ):
+            self.duplicates_injected += 1
+            self._schedule_delivery(
+                source,
+                destination,
+                payload,
+                base_latency + self._extra_delay(source, destination, payload),
+            )
+            self._log("duplicate", source, destination, payload)
+
+    def _extra_delay(self, source: int, destination: int, payload: Any) -> float:
+        delay = 0.0
+        if self.faults.jitter_s > 0.0:
+            delay += float(self._rng.uniform(0.0, self.faults.jitter_s))
+        if (
+            self.faults.reorder_probability > 0.0
+            and self._rng.random() < self.faults.reorder_probability
+        ):
+            self.reordered += 1
+            delay += self.faults.reorder_extra_s
+            self._log("reorder", source, destination, payload)
+        return delay

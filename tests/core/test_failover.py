@@ -1,0 +1,224 @@
+"""Manager failover: snapshot store, standby takeover, resync."""
+
+import pytest
+
+from repro.core import (
+    DUSTClient,
+    DUSTManager,
+    ManagerSnapshot,
+    OffloadAck,
+    RetryPolicy,
+    SnapshotStore,
+    StandbyManager,
+    ThresholdPolicy,
+    assignment_signature,
+)
+from repro.errors import SimulationError
+from repro.simulation import MessageNetwork, SimulationEngine
+from repro.topology import LinkUtilizationModel, build_fat_tree
+
+POLICY = ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
+RETRY = RetryPolicy(base_timeout_s=2.0, max_retries=4)
+
+
+class TestSnapshotStore:
+    def test_latest_wins_and_regressions_ignored(self):
+        store = SnapshotStore()
+        assert store.version == -1 and store.load() is None
+        snap = lambda v: ManagerSnapshot(
+            version=v, timestamp=float(v), records={}, ledger_rows=(),
+            keepalive_watch={},
+        )
+        store.save(snap(1))
+        store.save(snap(3))
+        store.save(snap(2))  # out-of-date writer: must not regress
+        assert store.version == 3
+        assert store.load().version == 3
+        assert store.saves == 2
+
+
+def build_system(crash_at=None, run_to=900.0):
+    """Fat-tree with a primary (node 0), a standby (node 1), and three
+    clients; returns everything after running to ``run_to``."""
+    topology = build_fat_tree(4)
+    LinkUtilizationModel(0.2, 0.7, seed=5).apply(topology)
+    engine = SimulationEngine()
+    network = MessageNetwork(topology, engine)
+    store = SnapshotStore()
+    manager_kwargs = dict(
+        update_interval_s=30.0, optimization_period_s=60.0,
+        keepalive_timeout_s=45.0, retry_policy=RETRY,
+    )
+    manager = DUSTManager(
+        node_id=0, topology=topology, engine=engine, network=network,
+        policy=POLICY, snapshot_store=store, standby_node=1,
+        heartbeat_period_s=10.0, **manager_kwargs,
+    )
+    manager.start()
+    standby = StandbyManager(
+        node_id=1, topology=topology, engine=engine, network=network,
+        policy=POLICY, snapshot_store=store, primary_node=0,
+        takeover_silence_s=30.0, check_period_s=10.0,
+        manager_kwargs=manager_kwargs,
+    )
+    standby.start()
+    clients = {}
+    for node, base in ((5, 92.0), (7, 30.0), (11, 30.0)):
+        clients[node] = DUSTClient(
+            node_id=node, engine=engine, network=network, manager_node=0,
+            policy=POLICY, base_capacity=base, retry_policy=RETRY,
+        )
+        clients[node].start()
+    if crash_at is not None:
+        engine.schedule_at(crash_at, lambda engine: manager.crash())
+    engine.run_until(run_to)
+    return manager, standby, clients, engine, store
+
+
+class TestPersistence:
+    def test_primary_persists_on_update(self):
+        manager, standby, clients, engine, store = build_system(run_to=300.0)
+        assert store.saves > 0
+        assert store.version == manager._snapshot_version
+        snapshot = store.load()
+        # The snapshot carries the live ledger and the admitted nodes.
+        assert assignment_signature(snapshot.ledger_rows) == assignment_signature(
+            manager.ledger.active
+        )
+        assert manager.ledger.active  # the scenario actually offloaded
+        assert set(snapshot.keepalive_watch) == {
+            o.destination for o in manager.ledger.active
+        }
+        assert snapshot.records[5].capacity_pct > 0
+
+    def test_heartbeats_reach_standby(self):
+        manager, standby, clients, engine, store = build_system(run_to=100.0)
+        assert standby.heartbeats_seen >= 9
+        assert not standby.promoted
+
+
+class TestTakeover:
+    def test_standby_recovers_ledger_after_crash(self):
+        manager, standby, clients, engine, store = build_system(
+            crash_at=400.0, run_to=1200.0
+        )
+        assert not manager.alive
+        assert standby.promoted
+        # Silence threshold 30s + 10s check period: takeover within 40s.
+        assert 400.0 < standby.took_over_at <= 445.0
+        promoted = standby.manager
+        assert promoted.node_id == 0  # VIP takeover: same address
+        assert promoted.counters.resync_rounds == 1
+        # The ledger converged back to the pre-crash assignment.
+        pre_crash = assignment_signature(store.load().ledger_rows)
+        assert assignment_signature(promoted.ledger.active) == pre_crash
+        assert pre_crash  # non-trivial assignment
+        # Clients kept talking to node 0 and were not evicted.
+        for client in clients.values():
+            assert client.alive
+
+    def test_no_spurious_takeover_while_primary_lives(self):
+        manager, standby, clients, engine, store = build_system(run_to=1200.0)
+        assert manager.alive
+        assert not standby.promoted
+        assert standby.takeover_aborts == 0
+
+    def test_split_brain_abort_when_primary_still_registered(self):
+        """Heartbeat silence without a crash (here: heartbeats simply
+        never sent) must not yield two live managers."""
+        topology = build_fat_tree(4)
+        engine = SimulationEngine()
+        network = MessageNetwork(topology, engine)
+        store = SnapshotStore()
+        # Primary never heartbeats (no standby_node configured).
+        manager = DUSTManager(
+            node_id=0, topology=topology, engine=engine, network=network,
+            policy=POLICY, snapshot_store=store,
+        )
+        manager.start()
+        standby = StandbyManager(
+            node_id=1, topology=topology, engine=engine, network=network,
+            policy=POLICY, snapshot_store=store, primary_node=0,
+            takeover_silence_s=20.0, check_period_s=10.0,
+        )
+        standby.start()
+        engine.run_until(200.0)
+        assert manager.alive
+        assert not standby.promoted
+        assert standby.takeover_aborts >= 1
+
+    def test_standby_on_primary_node_rejected(self):
+        topology = build_fat_tree(4)
+        engine = SimulationEngine()
+        network = MessageNetwork(topology, engine)
+        with pytest.raises(SimulationError, match="different node"):
+            StandbyManager(
+                node_id=0, topology=topology, engine=engine, network=network,
+                policy=POLICY, snapshot_store=SnapshotStore(), primary_node=0,
+            )
+
+    def test_double_start_rejected(self):
+        topology = build_fat_tree(4)
+        engine = SimulationEngine()
+        network = MessageNetwork(topology, engine)
+        standby = StandbyManager(
+            node_id=1, topology=topology, engine=engine, network=network,
+            policy=POLICY, snapshot_store=SnapshotStore(), primary_node=0,
+        )
+        standby.start()
+        with pytest.raises(SimulationError, match="already started"):
+            standby.start()
+
+
+class TestResync:
+    def test_resync_rebuilds_rows_missing_from_snapshot(self):
+        """A client's resync re-confirmation restores a ledger row the
+        snapshot never saw (persisted state lagged the crash)."""
+        topology = build_fat_tree(4)
+        engine = SimulationEngine()
+        network = MessageNetwork(topology, engine)
+        manager = DUSTManager(
+            node_id=0, topology=topology, engine=engine, network=network,
+            policy=POLICY, retry_policy=RETRY, resync_window_s=60.0,
+        )
+        manager.start()
+        manager.begin_resync()
+        from repro.simulation.network_sim import Message
+
+        ack = OffloadAck(destination=7, source=5, accepted=True,
+                         reason="resync", amount_pct=12.0)
+        manager._receive(Message(source=7, destination=0, payload=ack,
+                                 sent_at=0.0, delivered_at=0.0))
+        assert manager.counters.resync_recovered == 1
+        assert assignment_signature(manager.ledger.active) == (
+            (5, 7, 12.0),
+        )
+        # A duplicate re-confirmation does not double the row.
+        ack2 = OffloadAck(destination=7, source=5, accepted=True,
+                          reason="resync", amount_pct=12.0)
+        manager._receive(Message(source=7, destination=0, payload=ack2,
+                                 sent_at=0.0, delivered_at=0.0))
+        assert manager.counters.resync_recovered == 1
+        assert len(manager.ledger.active) == 1
+
+    def test_resync_window_closes(self):
+        topology = build_fat_tree(4)
+        engine = SimulationEngine()
+        network = MessageNetwork(topology, engine)
+        manager = DUSTManager(
+            node_id=0, topology=topology, engine=engine, network=network,
+            policy=POLICY, retry_policy=RETRY, resync_window_s=60.0,
+        )
+        manager.start()
+        manager.begin_resync()
+        engine.run_until(120.0)  # past the window
+        from repro.simulation.network_sim import Message
+
+        ack = OffloadAck(destination=7, source=5, accepted=True,
+                         reason="resync", amount_pct=12.0)
+        manager._receive(Message(source=7, destination=0, payload=ack,
+                                 sent_at=engine.now, delivered_at=engine.now))
+        # Outside the window this is the orphan path, not a rebuild.
+        assert manager.counters.resync_recovered == 0
+        assert manager.counters.orphans_reclaimed == 1
+        assert not manager.ledger.active

@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.errors import SimulationError
-from repro.simulation import FailureEvent, FailureInjector, SimulationEngine
+from repro.errors import SimulationError, TopologyError
+from repro.simulation import (
+    FailureEvent,
+    FailureInjector,
+    LinkFailureEvent,
+    SimulationEngine,
+)
+from repro.topology import build_line
 
 
 class FakeClient:
@@ -109,3 +115,72 @@ class TestExponentialProcess:
             injector.schedule_exponential(1.0, 0.0, 1.0)
         with pytest.raises(SimulationError):
             injector.schedule_exponential(10.0, 1.0, 1.0, nodes=[99])
+
+
+class TestLinkEvents:
+    def make(self):
+        engine = SimulationEngine()
+        topology = build_line(3)
+        topology.set_utilization(0, 0.3)
+        injector = FailureInjector(engine, {0: FakeClient()}, topology=topology)
+        return engine, topology, injector
+
+    def test_down_saturates_and_up_restores(self):
+        engine, topology, injector = self.make()
+        injector.schedule_links([
+            LinkFailureEvent(time=10.0, edge_id=0, kind="down"),
+            LinkFailureEvent(time=20.0, edge_id=0, kind="up"),
+        ])
+        version = topology.version
+        engine.run_until(15.0)
+        # A downed link is modelled as fully saturated, and the mutation
+        # went through the topology API: version-keyed caches reprice.
+        assert topology.link(0).utilization == 1.0
+        assert topology.version > version
+        engine.run_until(25.0)
+        assert topology.link(0).utilization == 0.3
+        assert [e.kind for e in injector.applied_links] == ["down", "up"]
+
+    def test_redundant_transitions_are_idempotent(self):
+        engine, topology, injector = self.make()
+        injector.schedule_links([
+            LinkFailureEvent(time=1.0, edge_id=0, kind="up"),  # never down
+            LinkFailureEvent(time=2.0, edge_id=0, kind="down"),
+            LinkFailureEvent(time=3.0, edge_id=0, kind="down"),  # already down
+            LinkFailureEvent(time=4.0, edge_id=0, kind="up"),
+        ])
+        engine.run_until(10.0)
+        assert topology.link(0).utilization == 0.3  # original, not 1.0
+        assert [e.kind for e in injector.applied_links] == ["down", "up"]
+
+    def test_unknown_edge_rejected(self):
+        engine, topology, injector = self.make()
+        with pytest.raises(TopologyError, match="does not exist"):
+            injector.schedule_links([
+                LinkFailureEvent(time=1.0, edge_id=99, kind="down")
+            ])
+
+    def test_requires_topology(self):
+        injector = FailureInjector(SimulationEngine(), {0: FakeClient()})
+        with pytest.raises(SimulationError, match="need a topology"):
+            injector.schedule_links([
+                LinkFailureEvent(time=1.0, edge_id=0, kind="down")
+            ])
+
+    def test_past_times_rejected(self):
+        engine, topology, injector = self.make()
+        engine.run_until(100.0)
+        with pytest.raises(SimulationError, match="in the past"):
+            injector.schedule_links([
+                LinkFailureEvent(time=50.0, edge_id=0, kind="down")
+            ])
+        with pytest.raises(SimulationError, match="in the past"):
+            injector.schedule(
+                [FailureEvent(time=50.0, node_id=0, kind="crash")]
+            )
+
+    def test_event_validation(self):
+        with pytest.raises(SimulationError, match="kind"):
+            LinkFailureEvent(time=1.0, edge_id=0, kind="sever")
+        with pytest.raises(SimulationError, match="non-negative"):
+            LinkFailureEvent(time=-1.0, edge_id=0, kind="down")

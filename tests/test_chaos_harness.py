@@ -1,0 +1,145 @@
+"""Chaos harness: lossy-run convergence, determinism, acceptance."""
+
+import json
+
+import pytest
+
+from repro.simulation import (
+    ChaosScenario,
+    FaultConfig,
+    default_scenario,
+    evaluate_scenario,
+    run_scenario,
+)
+
+#: The satellite property: up to 20% drop plus duplication/reordering.
+LOSSY = FaultConfig(
+    drop_probability=0.20,
+    duplicate_probability=0.10,
+    jitter_s=0.25,
+    reorder_probability=0.20,
+)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_lossy_run_converges_to_reliable_ledger(seed):
+    """Dropping up to 20% of control messages (with duplication and
+    reordering) must still converge to the exact OffloadLedger the
+    fault-free run produces from the same seed."""
+    scenario = ChaosScenario(seed=seed, horizon_s=1800.0, faults=LOSSY)
+    comparison = evaluate_scenario(scenario)
+    assert comparison.converged
+    assert comparison.divergence == 0.0
+    assert comparison.faulty.signature == comparison.reference.signature
+    assert comparison.faulty.signature  # the scenario actually offloads
+    # The faults were real: messages died and the protocol paid for it.
+    assert comparison.faulty.faults_dropped > 0
+    assert comparison.faulty.duplicates_injected > 0
+
+
+def test_same_seed_is_bit_identical():
+    """A chaos run is a pure function of (scenario, seed): the fault
+    event log, checkpoints and final signature all replay exactly."""
+    scenario = default_scenario(seed=1)
+    a = run_scenario(scenario)
+    b = run_scenario(scenario)
+    assert a.event_log == b.event_log
+    assert a.checkpoints == b.checkpoints
+    assert a.signature == b.signature
+    assert a.messages_sent == b.messages_sent
+    assert a.took_over_at == b.took_over_at
+
+
+def test_different_seeds_diverge():
+    log0 = run_scenario(default_scenario(seed=0)).event_log
+    log1 = run_scenario(default_scenario(seed=1)).event_log
+    assert log0 != log1
+
+
+class TestDefaultScenarioAcceptance:
+    """The PR's acceptance scenario: 10% drop, dup+reorder, one mid-run
+    manager crash — reconverges with zero production-class loss."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return evaluate_scenario(default_scenario(seed=0))
+
+    def test_reconverges_to_fault_free_placement(self, comparison):
+        assert comparison.converged
+        assert comparison.divergence == 0.0
+
+    def test_failover_happened_and_recovery_is_reported(self, comparison):
+        faulty = comparison.faulty
+        crash_at = faulty.scenario.manager_crash_at
+        assert faulty.took_over_at is not None
+        assert faulty.took_over_at > crash_at
+        assert comparison.recovery_s is not None
+        promoted = faulty.active_manager()
+        assert promoted is not faulty.manager
+        assert promoted.counters.resync_rounds == 1
+
+    def test_zero_production_loss(self, comparison):
+        qos = comparison.faulty.qos
+        assert qos.offloads_audited > 0
+        assert qos.production_loss_mb == 0.0
+        assert qos.monitoring_delivered_mb > 0.0
+
+    def test_overhead_is_reported(self, comparison):
+        # Retransmissions happened; the overhead metric is finite.
+        counters = comparison.faulty.counters
+        total_retx = counters.retransmissions + comparison.faulty.client_retransmissions
+        assert total_retx > 0
+        assert comparison.overhead_pct == comparison.overhead_pct  # not NaN
+
+
+class TestZeroFaultTransparency:
+    """With zero faults the hardened stack must be invisible: no
+    retransmissions, no fault events, no reliability counter activity."""
+
+    def test_reference_run_is_clean(self):
+        result = run_scenario(default_scenario(seed=0).reference())
+        assert result.event_log == ()
+        assert result.faults_dropped == 0
+        assert result.duplicates_injected == 0
+        assert result.counters.retransmissions == 0
+        assert result.counters.sends_gave_up == 0
+        assert result.counters.duplicates_ignored == 0
+        assert result.counters.stale_stats_dropped == 0
+        assert result.client_retransmissions == 0
+        assert result.client_duplicates_ignored == 0
+        assert result.took_over_at is None
+
+
+class TestScenarioValidation:
+    def test_crash_outside_horizon_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="inside the horizon"):
+            ChaosScenario(horizon_s=100.0, manager_crash_at=200.0)
+
+    def test_crash_without_standby_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="needs a standby"):
+            ChaosScenario(standby_node=None, manager_crash_at=100.0)
+
+    def test_reference_strips_all_disruptions(self):
+        reference = default_scenario(seed=3).reference()
+        assert reference.faults.is_null
+        assert reference.manager_crash_at is None
+        assert reference.seed == 3  # same wiring, same seed
+
+
+def test_resilience_experiment_writes_artifact(tmp_path):
+    from repro.experiments.extra_resilience import run
+
+    artifact = tmp_path / "resilience.json"
+    result = run(seeds=(0,), horizon_s=900.0, json_path=str(artifact))
+    assert result.experiment_id == "resilience"
+    assert len(result.rows) == 1
+    payload = json.loads(artifact.read_text())
+    (record,) = payload["runs"]
+    assert record["converged"] is True
+    assert record["production_loss_mb"] == 0.0
+    assert {"recovery_time_s", "message_overhead_pct", "retransmissions",
+            "manager_took_over_at"} <= set(record)

@@ -1,0 +1,82 @@
+"""Pool-death hardening in :func:`repro.parallel.map_with_pool_retry`."""
+
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+import repro.parallel as parallel
+from repro.parallel import chunk_evenly, make_executor, map_with_pool_retry
+
+
+def double(x):
+    return 2 * x
+
+
+class FlakyExecutor:
+    """Executor double whose map() raises for the first ``failures``
+    pools built, then behaves; built via a monkeypatched make_executor
+    so the retry loop is exercised without killing real workers."""
+
+    built = 0
+
+    def __init__(self, failures, exc):
+        self.failures = failures
+        self.exc = exc
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def map(self, fn, payloads):
+        type(self).built += 1
+        if type(self).built <= self.failures:
+            raise self.exc
+        return map(fn, payloads)
+
+
+@pytest.fixture
+def flaky(monkeypatch):
+    def install(failures, exc=BrokenExecutor("worker died")):
+        FlakyExecutor.built = 0
+        monkeypatch.setattr(
+            parallel, "make_executor", lambda w, k="process": FlakyExecutor(failures, exc)
+        )
+
+    return install
+
+
+def test_plain_success_thread_pool():
+    assert map_with_pool_retry(double, [1, 2, 3], workers=2, kind="thread") == [2, 4, 6]
+
+
+def test_broken_pool_once_is_rebuilt_and_replayed(flaky):
+    flaky(failures=1)
+    assert map_with_pool_retry(double, [1, 2, 3], workers=2) == [2, 4, 6]
+    assert FlakyExecutor.built == 2  # one death, one full replay
+
+
+def test_broken_pool_twice_gives_up_to_serial_fallback(flaky):
+    flaky(failures=2)
+    assert map_with_pool_retry(double, [1], workers=2) is None
+
+
+def test_non_pool_errors_are_not_retried(flaky):
+    flaky(failures=2, exc=RuntimeError("cannot schedule new futures"))
+    assert map_with_pool_retry(double, [1], workers=2) is None
+    assert FlakyExecutor.built == 1  # no pointless rebuild
+
+
+def test_make_executor_rejects_unknown_kind():
+    from repro.parallel import ParallelismError
+
+    with pytest.raises(ParallelismError, match="unknown executor kind"):
+        make_executor(2, kind="fiber")
+
+
+def test_chunk_evenly_round_trips():
+    items = list(range(10))
+    chunks = chunk_evenly(items, 3)
+    assert [len(c) for c in chunks] == [4, 3, 3]
+    assert [x for c in chunks for x in c] == items
