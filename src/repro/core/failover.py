@@ -35,6 +35,7 @@ from repro.core.nmdb import NodeRecord
 from repro.core.offload import ActiveOffload
 from repro.core.thresholds import ThresholdPolicy
 from repro.errors import SimulationError
+from repro.obs import get_registry, trace_event
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.network_sim import Message, MessageNetwork
 from repro.topology.graph import Topology
@@ -67,6 +68,7 @@ class SnapshotStore:
             return  # never let an out-of-date writer regress the store
         self._latest = snapshot
         self.saves += 1
+        get_registry().counter("failover.snapshot_saves").inc()
 
     def load(self) -> Optional[ManagerSnapshot]:
         return self._latest
@@ -77,7 +79,40 @@ class SnapshotStore:
 
 
 class StandbyManager:
-    """Hot standby: watches primary heartbeats, takes over on silence."""
+    """Hot standby: watches primary heartbeats, takes over on silence.
+
+    Parameters
+    ----------
+    node_id : int
+        Node the standby runs on (must differ from ``primary_node``).
+    topology, engine, network, policy :
+        Same collaborators a :class:`~repro.core.manager.DUSTManager`
+        takes; the promoted manager is built from them.
+    snapshot_store : SnapshotStore
+        Stable store the primary persists into; the promoted manager
+        restores the latest snapshot from it.
+    primary_node : int
+        Node id (and network address) of the watched primary.
+    takeover_silence_s : float, optional
+        Heartbeat silence that triggers a takeover attempt.
+    check_period_s : float, optional
+        Watchdog tick period.
+    manager_kwargs : dict, optional
+        Extra ``DUSTManager`` constructor options for the promoted
+        instance (retry policy, periods, …), mirroring the primary.
+
+    Attributes
+    ----------
+    heartbeats_seen : int
+        Primary heartbeats observed (metric:
+        ``failover.heartbeats_seen``).
+    takeover_aborts : int
+        Takeovers aborted by the split-brain guard (metric:
+        ``failover.takeover_aborts``).
+    took_over_at : float or None
+        Simulation time of the successful promotion, if any
+        (counted in ``failover.takeovers``).
+    """
 
     def __init__(
         self,
@@ -135,6 +170,7 @@ class StandbyManager:
         payload = message.payload
         if isinstance(payload, ManagerHeartbeat):
             self.heartbeats_seen += 1
+            get_registry().counter("failover.heartbeats_seen").inc()
             self._last_heartbeat = max(self._last_heartbeat, self.engine.now)
         elif not isinstance(payload, ControlMessage):
             raise SimulationError("standby received non-DUST payload")
@@ -168,6 +204,7 @@ class StandbyManager:
         except SimulationError:
             # Primary still holds the VIP — heartbeat loss, not a crash.
             self.takeover_aborts += 1
+            get_registry().counter("failover.takeover_aborts").inc()
             self._last_heartbeat = self.engine.now  # back off a full window
             return False
         snapshot = self.snapshot_store.load()
@@ -176,4 +213,8 @@ class StandbyManager:
         manager.begin_resync()
         self.manager = manager
         self.took_over_at = self.engine.now
+        get_registry().counter("failover.takeovers").inc()
+        trace_event(
+            "failover.takeover", standby=self.node_id, primary=self.primary_node
+        )
         return True

@@ -31,6 +31,7 @@ restored snapshot against client ground truth in a resync round — see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -64,6 +65,12 @@ from repro.core.placement import (
     PlacementSession,
 )
 from repro.core.postoffload import KeepaliveTracker, ReplicaSelector
+from repro.obs import (
+    MANAGER_COUNTERS_MIRROR,
+    get_registry,
+    mirror_counters,
+    trace_span,
+)
 from repro.core.thresholds import ThresholdPolicy
 from repro.errors import ProtocolError
 from repro.routing.response_time import PathEngine, ResponseTimeModel
@@ -557,7 +564,24 @@ class DUSTManager:
     # -- optimization rounds ----------------------------------------------------------------
     def run_optimization_round(self) -> Optional[PlacementReport]:
         """One manager decision cycle; returns the placement report (or
-        ``None`` when there was nothing to do)."""
+        ``None`` when there was nothing to do).
+
+        Wall time lands in ``manager.optimization_round_seconds`` and,
+        when tracing is on, the whole cycle — Trmin pricing, LP solve,
+        offload message dispatch — nests under one
+        ``manager.optimization_round`` span. Protocol counters are
+        mirrored into the ``manager.*`` metrics at the end of the
+        round."""
+        start = time.perf_counter()
+        with trace_span("manager.optimization_round", manager=self.node_id):
+            report = self._run_optimization_round_impl()
+        get_registry().histogram("manager.optimization_round_seconds").observe(
+            time.perf_counter() - start
+        )
+        mirror_counters(self.counters, MANAGER_COUNTERS_MIRROR)
+        return report
+
+    def _run_optimization_round_impl(self) -> Optional[PlacementReport]:
         self.counters.optimization_rounds += 1
         self.refresh_transport_counters()
         # Expire pending requests whose request or reply was lost (e.g.
@@ -684,6 +708,12 @@ class DUSTManager:
     def run_keepalive_sweep(self) -> List[int]:
         """Evict expired destinations, re-home their workloads; returns
         the failed destinations."""
+        with trace_span("manager.keepalive_sweep", manager=self.node_id):
+            failed_nodes = self._run_keepalive_sweep_impl()
+        mirror_counters(self.counters, MANAGER_COUNTERS_MIRROR)
+        return failed_nodes
+
+    def _run_keepalive_sweep_impl(self) -> List[int]:
         now = self.engine.now
         expired = [
             node

@@ -36,6 +36,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.obs import get_registry, trace_event
+
 _message_counter = itertools.count()
 
 
@@ -356,6 +358,29 @@ class ReliableSender:
     arrives) cancels the pending timer. On a loss-free fabric no timer
     ever fires, so behaviour — counters included — is identical to
     plain sends.
+
+    Parameters
+    ----------
+    network : MessageNetwork
+        The (possibly faulty) fabric messages travel on.
+    engine : SimulationEngine
+        Event engine used to schedule retransmission timers.
+    node_id : int
+        The sending endpoint's node id.
+    policy : RetryPolicy
+        Timeout schedule and retry budget.
+
+    Attributes
+    ----------
+    retransmissions : int
+        Timer-driven re-sends performed (also published process-wide
+        as the ``transport.retransmissions`` metric).
+    gave_up : int
+        Sends abandoned after the retry budget (metric:
+        ``transport.sends_gave_up``). Each retransmission / give-up
+        additionally records a ``transport.retransmit`` /
+        ``transport.give_up`` instant event when tracing is on, so
+        retries are visible on the placement-round timeline.
     """
 
     def __init__(self, network, engine, node_id: int, policy: RetryPolicy) -> None:
@@ -404,11 +429,22 @@ class ReliableSender:
         if entry.attempt >= self.policy.max_retries:
             del self._outstanding[key]
             self.gave_up += 1
+            get_registry().counter("transport.sends_gave_up").inc()
+            trace_event(
+                "transport.give_up", node=self.node_id, dest=entry.destination
+            )
             if entry.on_give_up is not None:
                 entry.on_give_up(entry.destination, entry.payload)
             return
         entry.attempt += 1
         self.retransmissions += 1
+        get_registry().counter("transport.retransmissions").inc()
+        trace_event(
+            "transport.retransmit",
+            node=self.node_id,
+            dest=entry.destination,
+            attempt=entry.attempt,
+        )
         self.network.send(self.node_id, entry.destination, entry.payload)
         self._arm(key, entry)
 

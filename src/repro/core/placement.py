@@ -46,6 +46,7 @@ from repro.lp import (
     solve_simplex,
     solve_transportation,
 )
+from repro.obs import get_registry, trace_span
 from repro.routing.engine import TrminEngine
 from repro.routing.response_time import PathEngine, ResponseTimeModel
 from repro.routing.routes import Path
@@ -390,11 +391,43 @@ class PlacementEngine:
     ) -> PlacementReport:
         """Solve one placement instance to optimality (or infeasibility).
 
-        ``warm_start`` is the ``lp_basis`` of a previous report for the
-        same busy/candidate sets (usually supplied by a
-        :class:`PlacementSession` rather than by hand). The optimum is
-        identical either way; only the pivot count changes.
+        Parameters
+        ----------
+        problem : PlacementProblem
+            Busy/candidate sets, loads, capacities and routing limits.
+        warm_start : object, optional
+            The ``lp_basis`` of a previous report for the same
+            busy/candidate sets (usually supplied by a
+            :class:`PlacementSession` rather than by hand). The optimum
+            is identical either way; only the pivot count changes.
+
+        Returns
+        -------
+        PlacementReport
+            Status, objective β, assignments and per-phase timings.
+            Each solve also reports into the ``placement.*`` metrics
+            and (when tracing is on) records a ``placement.solve`` span
+            with nested ``placement.trmin`` / ``placement.lp`` phases.
         """
+        with trace_span(
+            "placement.solve",
+            busy=len(problem.busy),
+            candidates=len(problem.candidates),
+            backend=self.lp_backend,
+        ):
+            report = self._solve_impl(problem, warm_start)
+        registry = get_registry()
+        registry.counter("placement.solves").inc()
+        if report.status is SolveStatus.INFEASIBLE:
+            registry.counter("placement.infeasible").inc()
+        registry.histogram("placement.trmin_seconds").observe(report.trmin_seconds)
+        registry.histogram("placement.lp_seconds").observe(report.lp_seconds)
+        registry.histogram("placement.total_seconds").observe(report.total_seconds)
+        return report
+
+    def _solve_impl(
+        self, problem: PlacementProblem, warm_start: object = None
+    ) -> PlacementReport:
         start = time.perf_counter()
         model = self._model_for(problem)
         m, n = len(problem.busy), len(problem.candidates)
@@ -416,35 +449,41 @@ class PlacementEngine:
             )
 
         t0 = time.perf_counter()
-        if n:
-            trmin, hops, paths = self.trmin_engine.trmin_matrix(
-                problem.topology,
-                list(problem.busy),
-                list(problem.candidates),
-                problem.data_mb,
-                with_paths=self.with_routes,
-                model=model,
-            )
-        else:
-            trmin = np.zeros((m, 0))
-            hops = np.zeros((m, 0), dtype=int)
-            paths = {}
+        with trace_span("placement.trmin"):
+            if n:
+                trmin, hops, paths = self.trmin_engine.trmin_matrix(
+                    problem.topology,
+                    list(problem.busy),
+                    list(problem.candidates),
+                    problem.data_mb,
+                    with_paths=self.with_routes,
+                    model=model,
+                )
+            else:
+                trmin = np.zeros((m, 0))
+                hops = np.zeros((m, 0), dtype=int)
+                paths = {}
         trmin_seconds = time.perf_counter() - t0
 
         t1 = time.perf_counter()
         duals_by_index: Dict[int, float] = {}
         extra = _LpExtra()
-        if n == 0:
-            status, flow, beta = SolveStatus.INFEASIBLE, np.zeros((m, 0)), float("nan")
-        else:
-            status, flow, beta, duals_by_index, extra = self._solve_lp(
-                trmin,
-                problem.cs,
-                problem.cd,
-                coeff=problem.capacity_coefficients,
-                integral=problem.integral,
-                warm_start=warm_start,
-            )
+        with trace_span("placement.lp"):
+            if n == 0:
+                status, flow, beta = (
+                    SolveStatus.INFEASIBLE,
+                    np.zeros((m, 0)),
+                    float("nan"),
+                )
+            else:
+                status, flow, beta, duals_by_index, extra = self._solve_lp(
+                    trmin,
+                    problem.cs,
+                    problem.cd,
+                    coeff=problem.capacity_coefficients,
+                    integral=problem.integral,
+                    warm_start=warm_start,
+                )
         lp_seconds = time.perf_counter() - t1
 
         assignments: List[PlacementAssignment] = []
@@ -537,14 +576,33 @@ class PlacementSession:
         )
 
     def solve(self, problem: PlacementProblem) -> PlacementReport:
-        """Solve, warm-starting from the previous compatible basis."""
+        """Solve, warm-starting from the previous compatible basis.
+
+        Parameters
+        ----------
+        problem : PlacementProblem
+            The instance to solve. When its busy/candidate sets match
+            the previous solve's, the remembered LP basis is offered as
+            a warm start.
+
+        Returns
+        -------
+        PlacementReport
+            Same contract as :meth:`PlacementEngine.solve`;
+            ``lp_warm_started`` tells whether the basis was used.
+            Warm-start attempts and hits are also published as
+            ``placement.warm_attempts`` / ``placement.warm_hits``.
+        """
+        registry = get_registry()
         key = self._key(problem)
         warm = self._last_basis if key == self._last_key else None
         if warm is not None:
             self.warm_attempts += 1
+            registry.counter("placement.warm_attempts").inc()
         report = self.engine.solve(problem, warm_start=warm)
         if report.lp_warm_started:
             self.warm_hits += 1
+            registry.counter("placement.warm_hits").inc()
         if report.status.is_optimal and report.lp_basis is not None:
             self._last_key = key
             self._last_basis = report.lp_basis

@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write machine-readable metrics to this path (experiments "
         "that support it: resilience)",
     )
+    parser.add_argument(
+        "--trace", type=str, default=None,
+        help="record a span timeline of the run and write it to this "
+        "path as Chrome-trace JSON (open in chrome://tracing or "
+        "ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -55,6 +61,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "table1":
         print(notation_table())
         return 0
+    if args.trace is not None:
+        from repro.obs import get_tracer
+
+        get_tracer().enable()
     overrides = {}
     if args.iterations is not None:
         overrides["iterations"] = args.iterations
@@ -84,6 +94,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         write_report(results, args.output)
         print(f"report written to {args.output}")
+    if args.trace is not None:
+        from repro.obs import get_tracer
+
+        events = get_tracer().export_chrome_trace(args.trace)
+        print(f"trace with {events} events written to {args.trace}")
     return 0
 
 

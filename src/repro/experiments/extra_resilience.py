@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.obs import normalize_counter_keys, observability_artifact
 from repro.simulation.chaos import default_scenario, evaluate_scenario
 
 DEFAULT_SEEDS: Sequence[int] = (0, 1, 2)
@@ -43,8 +44,21 @@ def run(
         comparison = evaluate_scenario(scenario)
         faulty = comparison.faulty
         counters = faulty.counters
-        retransmissions = counters.retransmissions + faulty.client_retransmissions
         recovery = comparison.recovery_s
+        # One vocabulary everywhere: the per-run counter block uses the
+        # metric-catalog names (docs/observability.md), summing the
+        # manager's and the clients' retransmissions like the transport
+        # metric does.
+        run_counters = normalize_counter_keys(
+            {
+                "messages_sent": faulty.messages_sent,
+                "messages_dropped": faulty.messages_dropped,
+                "faults_dropped": faulty.faults_dropped,
+                "duplicates_injected": faulty.duplicates_injected,
+                "retransmissions": counters.retransmissions
+                + faulty.client_retransmissions,
+            }
+        )
         rows.append(
             (
                 seed,
@@ -52,9 +66,9 @@ def run(
                 round(comparison.divergence, 4),
                 "n/a" if recovery is None else f"{recovery:.0f}",
                 round(comparison.overhead_pct, 1),
-                faulty.faults_dropped,
-                faulty.duplicates_injected,
-                retransmissions,
+                run_counters["network.faults_dropped"],
+                run_counters["network.duplicates_injected"],
+                run_counters["transport.retransmissions"],
                 faulty.qos.production_loss_mb,
             )
         )
@@ -65,18 +79,15 @@ def run(
                 "placement_divergence": comparison.divergence,
                 "recovery_time_s": recovery,
                 "message_overhead_pct": comparison.overhead_pct,
-                "messages_sent": faulty.messages_sent,
-                "messages_dropped": faulty.messages_dropped,
-                "faults_dropped": faulty.faults_dropped,
-                "duplicates_injected": faulty.duplicates_injected,
-                "retransmissions": retransmissions,
+                "counters": run_counters,
                 "manager_took_over_at": faulty.took_over_at,
                 "production_loss_mb": faulty.qos.production_loss_mb,
                 "monitoring_dropped_mb": faulty.qos.monitoring_dropped_mb,
             }
         )
     if json_path is not None:
-        Path(json_path).write_text(json.dumps({"runs": records}, indent=2))
+        artifact = {"runs": records, "observability": observability_artifact()}
+        Path(json_path).write_text(json.dumps(artifact, indent=2))
     all_converged = all(r["converged"] for r in records)
     no_production_loss = all(r["production_loss_mb"] == 0.0 for r in records)
     return ExperimentResult(
@@ -84,7 +95,8 @@ def run(
         title="Chaos resilience: lossy fabric + manager failover (extra)",
         columns=(
             "seed", "converged", "divergence", "recovery (s)", "overhead (%)",
-            "msgs dropped", "dupes injected", "retransmissions", "prod loss (MB)",
+            "network.faults_dropped", "network.duplicates_injected",
+            "transport.retransmissions", "prod loss (MB)",
         ),
         rows=tuple(rows),
         paper_claim=(

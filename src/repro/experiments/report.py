@@ -12,9 +12,23 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.obs import canonical_counter_name
+
+
+def _canonical_column(column: str) -> str:
+    # Counter columns render under their metric-catalog names, so a
+    # result built with a legacy spelling ("retransmits",
+    # "msgs dropped") and one built with catalog names produce the
+    # same table header. Non-counter columns pass through untouched.
+    for candidate in (column, column.replace(" ", "_")):
+        mapped = canonical_counter_name(candidate)
+        if mapped != candidate:
+            return mapped
+    return column
 
 
 def _markdown_table(columns: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    columns = [_canonical_column(c) for c in columns]
     def fmt(cell: object) -> str:
         if isinstance(cell, float):
             if cell != cell:

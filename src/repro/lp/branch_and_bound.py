@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.lp.model import INF, LinearProgram
 from repro.lp.result import Solution, SolveStatus
 from repro.lp.simplex import SimplexBasis, solve_simplex
+from repro.obs import get_registry, trace_span
 
 _INT_TOL = 1e-6
 
@@ -108,10 +109,44 @@ def solve_branch_and_bound(
 ) -> Solution:
     """Exact MILP solve; falls back to a single LP when no var is integer.
 
-    ``warm_start=False`` disables the parent-basis crash in child
-    relaxations (every node runs a cold two-phase solve) — kept for the
-    benchmark's cold baseline and for debugging pivot-count diffs.
+    Parameters
+    ----------
+    program : LinearProgram
+        The MILP (or LP) to solve.
+    max_nodes : int, optional
+        Budget on branch-and-bound nodes explored.
+    gap_tol : float, optional
+        Incumbent-vs-bound tolerance used for pruning.
+    warm_start : bool, optional
+        ``False`` disables the parent-basis crash in child relaxations
+        (every node runs a cold two-phase solve) — kept for the
+        benchmark's cold baseline and for debugging pivot-count diffs.
+
+    Returns
+    -------
+    Solution
+        Incumbent solution; ``iterations`` is the node count. Each
+        solve also reports into the ``lp.bnb.*`` metrics and (when
+        tracing is on) records an ``lp.bnb.solve`` span.
     """
+    with trace_span(
+        "lp.bnb.solve", variables=program.num_variables, warm=bool(warm_start)
+    ):
+        result = _solve_branch_and_bound_impl(program, max_nodes, gap_tol, warm_start)
+    registry = get_registry()
+    registry.counter("lp.bnb.solves").inc()
+    if result.iterations:
+        registry.counter("lp.bnb.nodes").inc(result.iterations)
+    registry.histogram("lp.bnb.solve_seconds").observe(result.solve_time)
+    return result
+
+
+def _solve_branch_and_bound_impl(
+    program: LinearProgram,
+    max_nodes: int = 10_000,
+    gap_tol: float = 1e-9,
+    warm_start: bool = True,
+) -> Solution:
     start = time.perf_counter()
     if not program.has_integer_variables:
         sol = solve_simplex(program)

@@ -17,6 +17,7 @@ from scipy.optimize import LinearConstraint
 
 from repro.lp.model import LinearProgram
 from repro.lp.result import Solution, SolveStatus
+from repro.obs import get_registry, trace_span
 
 _STATUS_FROM_LINPROG = {
     0: SolveStatus.OPTIMAL,
@@ -41,7 +42,32 @@ def solve_scipy(program: LinearProgram) -> Solution:
     Continuous programs go through :func:`scipy.optimize.linprog`;
     programs with any integer variable go through
     :func:`scipy.optimize.milp` so integrality is honored exactly.
+
+    Parameters
+    ----------
+    program : LinearProgram
+        The program to solve.
+
+    Returns
+    -------
+    Solution
+        Status, objective and variable values. Each solve also reports
+        into the ``lp.scipy.*`` metrics and (when tracing is on)
+        records an ``lp.scipy.solve`` span.
     """
+    with trace_span(
+        "lp.scipy.solve",
+        variables=program.num_variables,
+        integer=program.has_integer_variables,
+    ):
+        result = _solve_scipy_impl(program)
+    registry = get_registry()
+    registry.counter("lp.scipy.solves").inc()
+    registry.histogram("lp.scipy.solve_seconds").observe(result.solve_time)
+    return result
+
+
+def _solve_scipy_impl(program: LinearProgram) -> Solution:
     start = time.perf_counter()
     dense = program.to_dense()
     n = dense.c.size

@@ -50,6 +50,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.lp.model import DenseForm, LinearProgram
 from repro.lp.result import Solution, SolveStatus
+from repro.obs import get_registry, trace_span
 
 _EPS = 1e-9
 #: Dantzig pivoting switches to Bland's rule after this many iterations
@@ -411,13 +412,48 @@ def solve_simplex(
     :func:`repro.lp.branch_and_bound.solve_branch_and_bound` for true
     integrality.
 
-    ``warm_start`` is either the :class:`SimplexBasis` of a previous
-    solve (dual re-optimization when the program shares the previous
-    structure, primal crash of the remembered names otherwise) or a
-    bare sequence of variable names (crash only). Stale or mismatched
-    hints are discarded — the solve then proceeds cold, so the returned
-    optimum never depends on the hint. Unknown names are ignored.
+    Parameters
+    ----------
+    program : LinearProgram
+        The LP to solve (integrality dropped).
+    max_iter : int, optional
+        Safety bound on simplex pivots per phase.
+    warm_start : SimplexBasis or sequence of str, optional
+        Either the :class:`SimplexBasis` of a previous solve (dual
+        re-optimization when the program shares the previous structure,
+        primal crash of the remembered names otherwise) or a bare
+        sequence of variable names (crash only). Stale or mismatched
+        hints are discarded — the solve then proceeds cold, so the
+        returned optimum never depends on the hint. Unknown names are
+        ignored.
+
+    Returns
+    -------
+    Solution
+        Status, objective, variable values and pivot counts. Each solve
+        also reports into the ``lp.simplex.*`` metrics and (when
+        tracing is on) records an ``lp.simplex.solve`` span.
     """
+    with trace_span(
+        "lp.simplex.solve",
+        variables=program.num_variables,
+        warm=warm_start is not None,
+    ):
+        result = _solve_simplex_impl(program, max_iter, warm_start)
+    registry = get_registry()
+    registry.counter("lp.simplex.solves").inc()
+    pivots = result.total_pivots or result.iterations
+    if pivots:
+        registry.counter("lp.simplex.iterations").inc(pivots)
+    registry.histogram("lp.simplex.solve_seconds").observe(result.solve_time)
+    return result
+
+
+def _solve_simplex_impl(
+    program: LinearProgram,
+    max_iter: int = 100_000,
+    warm_start: Optional[object] = None,
+) -> Solution:
     start = time.perf_counter()
     dense = program.to_dense()
     n_total = dense.c.size

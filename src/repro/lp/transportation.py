@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.lp.result import Solution, SolveStatus
+from repro.obs import get_registry, trace_span
 
 _EPS = 1e-9
 #: Relative optimality tolerance on reduced costs.
@@ -475,19 +476,47 @@ def solve_transportation(
 
     Parameters
     ----------
-    problem:
+    problem : TransportationProblem
         Instance with equality supplies and ``<=`` demand capacities.
-    max_iter:
+    max_iter : int, optional
         Safety bound on MODI pivots.
-    big_m:
+    big_m : float, optional
         Cost used for forbidden (infinite-cost) lanes; auto-scaled from
         the finite costs when omitted.
-    warm_start:
+    warm_start : TransportationBasis, optional
         Basis returned by a previous solve of a same-shaped instance.
         Repaired if stale; silently ignored when the shape mismatches
         or the repair is primal-infeasible — the optimum never depends
         on the warm start, only the pivot count does.
+
+    Returns
+    -------
+    TransportationResult
+        Optimal flow, objective, pivot count and solve time. Each solve
+        also reports into the ``lp.transportation.*`` metrics and (when
+        tracing is on) records an ``lp.transportation.solve`` span.
     """
+    with trace_span(
+        "lp.transportation.solve",
+        rows=problem.num_sources,
+        cols=problem.num_destinations,
+        warm=warm_start is not None,
+    ):
+        result = _solve_transportation_impl(problem, max_iter, big_m, warm_start)
+    registry = get_registry()
+    registry.counter("lp.transportation.solves").inc()
+    if result.iterations:
+        registry.counter("lp.transportation.pivots").inc(result.iterations)
+    registry.histogram("lp.transportation.solve_seconds").observe(result.solve_time)
+    return result
+
+
+def _solve_transportation_impl(
+    problem: TransportationProblem,
+    max_iter: int = 100_000,
+    big_m: Optional[float] = None,
+    warm_start: Optional[TransportationBasis] = None,
+) -> TransportationResult:
     start = time.perf_counter()
     supply = problem.supply
     demand = problem.demand

@@ -1,0 +1,165 @@
+"""Bridges between legacy per-object counters and the registry.
+
+The hot layers keep their own cheap counter objects —
+``EngineStats`` dataclass fields in the routing engine,
+``ManagerCounters`` on the DUST-Manager, plain ``int`` attributes on
+clients and simulated networks. Those stay: a plain attribute add in a
+pivot loop beats a locked registry update. This module folds their
+*cumulative* totals into the registry at sync points (end of a pricing
+call, end of an optimization round, end of a chaos run) without double
+counting, via per-object delta mirroring:
+
+* :func:`mirror_counters` remembers, per live source object, the last
+  total it saw for each attribute and increments the registry counter
+  by the growth since then. Mirroring the same object twice is a no-op;
+  a *new* object (fresh ``EngineStats`` after ``reset_stats``, the
+  standby's promoted manager, the next chaos run's network) starts from
+  zero and contributes only its own activity.
+
+To stay import-cycle-free this module never imports the mirrored
+layers; the attribute lists below are plain data, validated against the
+real dataclasses by ``tests/obs/test_adapters.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, Mapping
+
+from repro.obs.registry import get_registry
+
+__all__ = [
+    "mirror_counters",
+    "ENGINE_STATS_MIRROR",
+    "MANAGER_COUNTERS_MIRROR",
+    "CLIENT_MIRROR",
+    "NETWORK_MIRROR",
+    "FAULTY_NETWORK_MIRROR",
+]
+
+#: EngineStats field -> catalog name.
+ENGINE_STATS_MIRROR: Dict[str, str] = {
+    "serial_computes": "trmin.serial_computes",
+    "parallel_computes": "trmin.parallel_computes",
+    "cache_hits": "trmin.cache_hits",
+    "full_computes": "trmin.full_computes",
+    "incremental_updates": "trmin.incremental_updates",
+    "pairs_repriced": "trmin.pairs_repriced",
+    "gate_fallbacks": "trmin.gate_fallbacks",
+}
+
+#: ManagerCounters field -> catalog name. The four transport/network
+#: mirror fields (``retransmissions``, ``sends_gave_up``,
+#: ``network_messages_dropped``, ``network_duplicates_delivered``) are
+#: deliberately absent: their ground truth already reaches the registry
+#: from ReliableSender and the network mirrors, and mirroring the copy
+#: would double-count.
+MANAGER_COUNTERS_MIRROR: Dict[str, str] = {
+    field: f"manager.{field}"
+    for field in (
+        "acks_sent",
+        "stats_received",
+        "optimization_rounds",
+        "infeasible_rounds",
+        "heuristic_fallbacks",
+        "offload_requests_sent",
+        "offloads_established",
+        "offloads_rejected",
+        "keepalives_received",
+        "destinations_failed",
+        "replicas_installed",
+        "workloads_returned",
+        "reclaims_issued",
+        "duplicates_ignored",
+        "stale_stats_dropped",
+        "stale_acks_ignored",
+        "acks_reconfirmed",
+        "probes_sent",
+        "orphans_reclaimed",
+        "destinations_quarantined",
+        "sources_abandoned",
+        "resync_rounds",
+        "resync_recovered",
+        "snapshots_persisted",
+    )
+}
+
+#: DUSTClient attribute -> catalog name (retransmissions excluded for
+#: the same double-count reason: the client's ReliableSender reports
+#: into ``transport.retransmissions`` directly).
+CLIENT_MIRROR: Dict[str, str] = {
+    "stats_sent": "client.stats_sent",
+    "keepalives_sent": "client.keepalives_sent",
+    "requests_rejected": "client.requests_rejected",
+    "duplicates_ignored": "client.duplicates_ignored",
+    "announce_give_ups": "client.announce_give_ups",
+}
+
+#: MessageNetwork attribute -> catalog name.
+NETWORK_MIRROR: Dict[str, str] = {
+    "messages_sent": "network.messages_sent",
+    "messages_delivered": "network.messages_delivered",
+    "messages_dropped": "network.messages_dropped",
+}
+
+#: FaultyNetwork extras (on top of NETWORK_MIRROR).
+FAULTY_NETWORK_MIRROR: Dict[str, str] = dict(
+    NETWORK_MIRROR,
+    faults_dropped="network.faults_dropped",
+    partition_dropped="network.partition_dropped",
+    duplicates_injected="network.duplicates_injected",
+    reordered="network.reordered",
+)
+
+_MIRROR_LOCK = threading.Lock()
+# Keyed by id() rather than a WeakKeyDictionary: mirrored sources are
+# often eq-comparing dataclasses (EngineStats, ManagerCounters), which
+# are unhashable. A weakref finalizer prunes each entry so id reuse
+# after garbage collection can never resurrect stale baselines.
+_LAST_SEEN: Dict[int, Dict[str, float]] = {}
+
+
+def _forget(source_id: int) -> None:
+    with _MIRROR_LOCK:
+        _LAST_SEEN.pop(source_id, None)
+
+
+def mirror_counters(source: object, mapping: Mapping[str, str]) -> None:
+    """Fold ``source``'s cumulative counter attributes into the registry.
+
+    Parameters
+    ----------
+    source :
+        Any object carrying cumulative numeric counter attributes
+        (an ``EngineStats``, ``ManagerCounters``, client, network, …).
+        Tracked weakly, so mirroring never extends object lifetimes.
+    mapping :
+        Attribute name -> registry counter name, e.g.
+        :data:`ENGINE_STATS_MIRROR`.
+
+    Notes
+    -----
+    Only the *growth* of each attribute since this object was last
+    mirrored is added, which makes the call idempotent at a given state
+    and correct across any number of short-lived source objects mapping
+    onto the same metric. Missing attributes count as zero, so mappings
+    stay forward-compatible.
+    """
+    registry = get_registry()
+    with _MIRROR_LOCK:
+        source_id = id(source)
+        last = _LAST_SEEN.get(source_id)
+        if last is None:
+            last = {}
+            _LAST_SEEN[source_id] = last
+            try:
+                weakref.finalize(source, _forget, source_id)
+            except TypeError:  # not weakref-able; entry stays resident
+                pass
+        for attr, metric_name in mapping.items():
+            current = float(getattr(source, attr, 0) or 0)
+            grown = current - last.get(attr, 0.0)
+            if grown > 0:
+                registry.counter(metric_name).inc(grown)
+                last[attr] = current

@@ -1,0 +1,260 @@
+"""The metric catalog: every registry metric, declared in one place.
+
+Each entry is ``(kind, name, unit, owner, description)``. The catalog
+is registered into the process-wide registry when :mod:`repro.obs` is
+imported, so the full metric namespace exists — at zero — before any
+instrumented code runs. ``docs/observability.md`` renders this catalog
+as a table, and the CI docs job fails when the two drift apart in
+either direction (documented-but-unregistered or
+registered-but-undocumented).
+
+Naming convention: ``<layer>.<event>`` with the layer prefixes
+
+========== ==========================================================
+prefix     owner layer
+========== ==========================================================
+trmin      route-pricing engine (:mod:`repro.routing.engine`)
+lp         LP/ILP backends (:mod:`repro.lp`)
+placement  Eq.-3 placement engine/session (:mod:`repro.core.placement`)
+manager    DUST-Manager protocol loops (:mod:`repro.core.manager`)
+client     DUST-Client endpoints (:mod:`repro.core.client`)
+network    message fabric (:mod:`repro.simulation.network_sim`)
+transport  reliable-delivery layer (:mod:`repro.core.messages`)
+failover   snapshot/standby machinery (:mod:`repro.core.failover`)
+chaos      chaos harness (:mod:`repro.simulation.chaos`)
+========== ==========================================================
+
+:data:`COUNTER_ALIASES` maps the legacy, pre-catalog key spellings that
+reports and JSON artifacts used to emit (``retransmits``,
+``msgs_dropped``, ``dupes_injected``, …) onto catalog names;
+:func:`normalize_counter_keys` applies the mapping so every artifact
+speaks one vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = [
+    "CATALOG",
+    "COUNTER_ALIASES",
+    "canonical_counter_name",
+    "normalize_counter_keys",
+    "register_catalog",
+]
+
+#: (kind, name, unit, owner, description) for every catalog metric.
+CATALOG: List[Tuple[str, str, str, str, str]] = [
+    # -- trmin: route-pricing engine ------------------------------------------------
+    ("counter", "trmin.serial_computes", "count", "repro.routing.engine",
+     "Matrix pricings executed on the serial path"),
+    ("counter", "trmin.parallel_computes", "count", "repro.routing.engine",
+     "Matrix pricings fanned out onto the worker pool"),
+    ("counter", "trmin.cache_hits", "count", "repro.routing.engine",
+     "Pricings answered from the versioned TrminCache unchanged"),
+    ("counter", "trmin.full_computes", "count", "repro.routing.engine",
+     "Cache misses that re-priced the full matrix"),
+    ("counter", "trmin.incremental_updates", "count", "repro.routing.engine",
+     "Cache entries repaired by incremental re-pricing"),
+    ("counter", "trmin.pairs_repriced", "count", "repro.routing.engine",
+     "Individual (source, destination) pairs re-priced incrementally"),
+    ("counter", "trmin.gate_fallbacks", "count", "repro.routing.engine",
+     "Incremental repairs abandoned by the dp cost gate"),
+    ("histogram", "trmin.price_seconds", "seconds", "repro.routing.engine",
+     "Wall time of one resistance_matrix call"),
+    # -- lp: solver backends --------------------------------------------------------
+    ("counter", "lp.transportation.solves", "count", "repro.lp.transportation",
+     "Transportation-simplex solves"),
+    ("counter", "lp.transportation.pivots", "count", "repro.lp.transportation",
+     "MODI pivots across all transportation solves"),
+    ("histogram", "lp.transportation.solve_seconds", "seconds",
+     "repro.lp.transportation", "Wall time of one transportation solve"),
+    ("counter", "lp.simplex.solves", "count", "repro.lp.simplex",
+     "Two-phase simplex solves"),
+    ("counter", "lp.simplex.iterations", "count", "repro.lp.simplex",
+     "Simplex pivots across all solves"),
+    ("histogram", "lp.simplex.solve_seconds", "seconds", "repro.lp.simplex",
+     "Wall time of one simplex solve"),
+    ("counter", "lp.scipy.solves", "count", "repro.lp.scipy_backend",
+     "HiGHS solves dispatched through scipy"),
+    ("histogram", "lp.scipy.solve_seconds", "seconds", "repro.lp.scipy_backend",
+     "Wall time of one scipy/HiGHS solve"),
+    ("counter", "lp.bnb.solves", "count", "repro.lp.branch_and_bound",
+     "Branch-and-bound MILP solves"),
+    ("counter", "lp.bnb.nodes", "count", "repro.lp.branch_and_bound",
+     "Branch-and-bound tree nodes explored"),
+    ("histogram", "lp.bnb.solve_seconds", "seconds", "repro.lp.branch_and_bound",
+     "Wall time of one branch-and-bound solve"),
+    # -- placement: Eq. 3 engine + warm-start session -------------------------------
+    ("counter", "placement.solves", "count", "repro.core.placement",
+     "PlacementEngine.solve calls"),
+    ("counter", "placement.infeasible", "count", "repro.core.placement",
+     "Placement solves that ended INFEASIBLE (Fig. 7's io events)"),
+    ("counter", "placement.warm_attempts", "count", "repro.core.placement",
+     "Session solves that offered a warm basis to the LP"),
+    ("counter", "placement.warm_hits", "count", "repro.core.placement",
+     "Session solves where the LP actually started from that basis"),
+    ("histogram", "placement.trmin_seconds", "seconds", "repro.core.placement",
+     "Route-pricing phase of one placement solve"),
+    ("histogram", "placement.lp_seconds", "seconds", "repro.core.placement",
+     "LP phase of one placement solve"),
+    ("histogram", "placement.total_seconds", "seconds", "repro.core.placement",
+     "End-to-end wall time of one placement solve"),
+    # -- manager: protocol loops ----------------------------------------------------
+    ("counter", "manager.acks_sent", "count", "repro.core.manager",
+     "Admission ACKs sent to announcing clients"),
+    ("counter", "manager.stats_received", "count", "repro.core.manager",
+     "STAT reports received"),
+    ("counter", "manager.optimization_rounds", "count", "repro.core.manager",
+     "Periodic optimization rounds executed"),
+    ("counter", "manager.infeasible_rounds", "count", "repro.core.manager",
+     "Rounds whose Eq. 3 program was infeasible"),
+    ("counter", "manager.heuristic_fallbacks", "count", "repro.core.manager",
+     "Infeasible rounds relieved by Algorithm 1"),
+    ("counter", "manager.offload_requests_sent", "count", "repro.core.manager",
+     "Offload-Requests dispatched to destinations"),
+    ("counter", "manager.offloads_established", "count", "repro.core.manager",
+     "Offload-ACK accepted: ledger rows created"),
+    ("counter", "manager.offloads_rejected", "count", "repro.core.manager",
+     "Offload-ACK rejected by the destination"),
+    ("counter", "manager.keepalives_received", "count", "repro.core.manager",
+     "Keepalive heartbeats received from hosting destinations"),
+    ("counter", "manager.destinations_failed", "count", "repro.core.manager",
+     "Destinations evicted after keepalive expiry"),
+    ("counter", "manager.replicas_installed", "count", "repro.core.manager",
+     "Failed destinations re-homed onto replicas via REP"),
+    ("counter", "manager.workloads_returned", "count", "repro.core.manager",
+     "Evicted workloads returned to their sources (no replica fit)"),
+    ("counter", "manager.reclaims_issued", "count", "repro.core.manager",
+     "Reclaim messages issued after source recovery"),
+    ("counter", "manager.duplicates_ignored", "count", "repro.core.manager",
+     "Duplicate control messages suppressed by the dedup cache"),
+    ("counter", "manager.stale_stats_dropped", "count", "repro.core.manager",
+     "Out-of-order STATs discarded under lossy delivery"),
+    ("counter", "manager.stale_acks_ignored", "count", "repro.core.manager",
+     "Stale/raced Offload-ACKs ignored"),
+    ("counter", "manager.acks_reconfirmed", "count", "repro.core.manager",
+     "Re-confirmations of still-live ledger rows"),
+    ("counter", "manager.probes_sent", "count", "repro.core.manager",
+     "Probe-before-evict keepalive probes sent"),
+    ("counter", "manager.orphans_reclaimed", "count", "repro.core.manager",
+     "Orphaned hostings reclaimed after late acceptance"),
+    ("counter", "manager.destinations_quarantined", "count", "repro.core.manager",
+     "Destinations quarantined after retry-budget exhaustion"),
+    ("counter", "manager.sources_abandoned", "count", "repro.core.manager",
+     "Sources written off after an unconfirmed Redirect"),
+    ("counter", "manager.resync_rounds", "count", "repro.core.manager",
+     "Post-failover resync rounds opened"),
+    ("counter", "manager.resync_recovered", "count", "repro.core.manager",
+     "Ledger rows rebuilt from resync re-confirmations"),
+    ("counter", "manager.snapshots_persisted", "count", "repro.core.manager",
+     "Manager state snapshots written to stable storage"),
+    ("histogram", "manager.optimization_round_seconds", "seconds",
+     "repro.core.manager", "Wall time of one optimization round"),
+    # -- client: per-node endpoints (aggregated over all clients) -------------------
+    ("counter", "client.stats_sent", "count", "repro.core.client",
+     "STAT reports sent by clients"),
+    ("counter", "client.keepalives_sent", "count", "repro.core.client",
+     "Keepalive heartbeats sent by hosting clients"),
+    ("counter", "client.requests_rejected", "count", "repro.core.client",
+     "Hosting requests rejected (projected load above CO_max)"),
+    ("counter", "client.duplicates_ignored", "count", "repro.core.client",
+     "Duplicate messages suppressed by client dedup caches"),
+    ("counter", "client.announce_give_ups", "count", "repro.core.client",
+     "Announcements abandoned after the retry budget"),
+    # -- network: message fabric ----------------------------------------------------
+    ("counter", "network.messages_sent", "count", "repro.simulation.network_sim",
+     "Messages accepted by the fabric"),
+    ("counter", "network.messages_delivered", "count",
+     "repro.simulation.network_sim", "Messages delivered to a receiver"),
+    ("counter", "network.messages_dropped", "count",
+     "repro.simulation.network_sim",
+     "Messages lost (faults, partitions, dead endpoints)"),
+    ("counter", "network.faults_dropped", "count", "repro.simulation.network_sim",
+     "Messages dropped by the fault lottery specifically"),
+    ("counter", "network.partition_dropped", "count",
+     "repro.simulation.network_sim", "Messages blocked by an active partition"),
+    ("counter", "network.duplicates_injected", "count",
+     "repro.simulation.network_sim", "Duplicate deliveries injected by faults"),
+    ("counter", "network.reordered", "count", "repro.simulation.network_sim",
+     "Messages delayed by the reordering fault"),
+    # -- transport: reliable-delivery layer (manager + client senders) --------------
+    ("counter", "transport.retransmissions", "count", "repro.core.messages",
+     "ACK-gated retransmissions fired by any ReliableSender"),
+    ("counter", "transport.sends_gave_up", "count", "repro.core.messages",
+     "Reliable sends abandoned after the retry budget"),
+    # -- failover: snapshots + standby ----------------------------------------------
+    ("counter", "failover.heartbeats_seen", "count", "repro.core.failover",
+     "Primary heartbeats observed by the standby"),
+    ("counter", "failover.takeovers", "count", "repro.core.failover",
+     "Successful standby promotions"),
+    ("counter", "failover.takeover_aborts", "count", "repro.core.failover",
+     "Takeovers aborted by the split-brain guard"),
+    ("counter", "failover.snapshot_saves", "count", "repro.core.failover",
+     "Snapshots accepted by the stable store"),
+    # -- chaos: scenario harness ----------------------------------------------------
+    ("counter", "chaos.runs", "count", "repro.simulation.chaos",
+     "Chaos scenarios executed (faulty and reference runs)"),
+    ("counter", "chaos.scenarios_evaluated", "count", "repro.simulation.chaos",
+     "evaluate_scenario comparisons completed"),
+    ("histogram", "chaos.run_seconds", "seconds", "repro.simulation.chaos",
+     "Wall time of one scenario run"),
+]
+
+#: Legacy / shorthand counter keys -> catalog names. Applied to report
+#: tables and ``--json`` artifacts so every consumer sees one spelling.
+COUNTER_ALIASES: Dict[str, str] = {
+    "retransmits": "transport.retransmissions",
+    "retransmissions": "transport.retransmissions",
+    "sends_gave_up": "transport.sends_gave_up",
+    "messages_sent": "network.messages_sent",
+    "msgs_sent": "network.messages_sent",
+    "messages_delivered": "network.messages_delivered",
+    "messages_dropped": "network.messages_dropped",
+    "msgs_dropped": "network.messages_dropped",
+    "faults_dropped": "network.faults_dropped",
+    "duplicates_injected": "network.duplicates_injected",
+    "dupes_injected": "network.duplicates_injected",
+    "duplicates_delivered": "network.duplicates_injected",
+    "partition_dropped": "network.partition_dropped",
+    "reordered": "network.reordered",
+    "snapshots_persisted": "manager.snapshots_persisted",
+    "probes_sent": "manager.probes_sent",
+}
+
+
+def canonical_counter_name(key: str) -> str:
+    """Catalog spelling of ``key`` (unmapped keys pass through)."""
+    return COUNTER_ALIASES.get(key, key)
+
+
+def normalize_counter_keys(counters: Mapping[str, float]) -> Dict[str, float]:
+    """Re-key a counter mapping onto catalog names.
+
+    Aliases that collapse onto the same canonical name are summed
+    (e.g. a mapping holding both ``retransmits`` and
+    ``client_retransmissions`` totals).
+
+    Examples
+    --------
+    >>> normalize_counter_keys({"retransmits": 3, "msgs_dropped": 2})
+    {'transport.retransmissions': 3, 'network.messages_dropped': 2}
+    """
+    out: Dict[str, float] = {}
+    for key, value in counters.items():
+        canonical = canonical_counter_name(key)
+        if canonical in out:
+            out[canonical] += value
+        else:
+            out[canonical] = value
+    return out
+
+
+def register_catalog(registry: MetricsRegistry = None) -> MetricsRegistry:
+    """Register every catalog metric (idempotent); returns the registry."""
+    registry = registry if registry is not None else get_registry()
+    for kind, name, unit, owner, description in CATALOG:
+        registry._register(kind, name, unit, owner, description)
+    return registry

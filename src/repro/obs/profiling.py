@@ -1,0 +1,138 @@
+"""Cheap, opt-in profiling hooks riding on the tracer and registry.
+
+Everything here is stdlib-only and off by default:
+
+* :func:`enable_profiling` turns on ``tracemalloc`` and per-span
+  allocation deltas (see :class:`~repro.obs.tracer.SpanRecord`);
+* :func:`time_block` samples a code block with ``perf_counter_ns`` into
+  a named histogram — the granular timing hook bench scripts use;
+* :func:`profile_snapshot` captures point-in-time process numbers
+  (tracemalloc current/peak, ``ru_maxrss``);
+* :func:`observability_artifact` bundles the metrics snapshot, the
+  tracer summary and the profile snapshot into one JSON-safe dict —
+  the ``"observability"`` section the bench scripts and the
+  ``resilience`` experiment embed in their ``--json`` artifacts.
+
+Examples
+--------
+>>> from repro.obs import time_block, get_registry
+>>> with time_block("docs.timed_block"):
+...     _ = sum(range(100))
+>>> get_registry().get("docs.timed_block").count >= 1
+True
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, Optional
+
+from repro.obs.registry import get_registry
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "enable_profiling",
+    "disable_profiling",
+    "time_block",
+    "profile_snapshot",
+    "observability_artifact",
+]
+
+
+def enable_profiling() -> None:
+    """Start ``tracemalloc`` and record per-span allocation deltas.
+
+    Idempotent. Costs real time (tracemalloc hooks every allocation) —
+    this is the explicitly-opt-in deep mode, never a default.
+    """
+    get_tracer().enable(profile_allocations=True)
+
+
+def disable_profiling() -> None:
+    """Stop allocation profiling (tracing itself stays enabled)."""
+    import tracemalloc
+
+    tracer = get_tracer()
+    tracer.profile_allocations = False
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+@contextlib.contextmanager
+def time_block(metric_name: str, owner: str = "") -> Iterator[None]:
+    """Time a block with ``perf_counter_ns`` into histogram
+    ``metric_name`` (unit: seconds).
+
+    Unlike :func:`~repro.obs.tracer.trace_span` this always records —
+    it is the sampling hook for code that wants numbers even with the
+    tracer off (bench loops, experiment phases).
+    """
+    histogram = get_registry().histogram(
+        metric_name, unit="seconds", owner=owner or "repro.obs.profiling"
+    )
+    start = time.perf_counter_ns()
+    try:
+        yield
+    finally:
+        histogram.observe((time.perf_counter_ns() - start) / 1e9)
+
+
+def profile_snapshot() -> Dict[str, Optional[float]]:
+    """Point-in-time process profile (JSON-safe).
+
+    Returns
+    -------
+    dict
+        ``tracemalloc_current_kb`` / ``tracemalloc_peak_kb`` (``None``
+        while tracemalloc is off), ``ru_maxrss_kb`` (peak RSS; ``None``
+        on platforms without :mod:`resource`), and
+        ``perf_counter_ns`` (the monotonic clock the spans use).
+    """
+    import tracemalloc
+
+    current_kb = peak_kb = None
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        current_kb, peak_kb = current / 1024.0, peak / 1024.0
+    maxrss_kb: Optional[float] = None
+    try:
+        import resource
+
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; normalize to KiB.
+        maxrss_kb = maxrss / 1024.0 if maxrss > 1 << 30 else float(maxrss)
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        pass
+    return {
+        "tracemalloc_current_kb": current_kb,
+        "tracemalloc_peak_kb": peak_kb,
+        "ru_maxrss_kb": maxrss_kb,
+        "perf_counter_ns": float(time.perf_counter_ns()),
+    }
+
+
+def _json_safe(value: object) -> object:
+    """Replace non-finite floats so ``json.dump`` stays strict-safe."""
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def observability_artifact() -> Dict[str, object]:
+    """One JSON-safe bundle of everything the layer observed.
+
+    Sections: ``metrics`` (registry snapshot), ``spans`` (tracer
+    per-name summary — empty with tracing off) and ``profile``
+    (:func:`profile_snapshot`). Experiments and bench scripts embed
+    this under the ``"observability"`` key of their JSON artifacts.
+    """
+    return {
+        "metrics": _json_safe(get_registry().snapshot()),
+        "spans": _json_safe(get_tracer().summary()),
+        "profile": _json_safe(profile_snapshot()),
+    }

@@ -87,11 +87,24 @@ def make_executor(workers: int, kind: str = "process") -> Executor:
         return ThreadPoolExecutor(max_workers=workers)
 
 
+def _call_with_metrics(args):
+    """Worker-side shim: run one task and capture the registry delta it
+    produced, so the parent can fold worker metrics back in."""
+    fn, payload = args
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    baseline = registry.snapshot()
+    result = fn(payload)
+    return result, registry.collect_delta(baseline)
+
+
 def map_with_pool_retry(
     fn: Callable[..., T],
     payloads: Sequence,
     workers: int,
     kind: str = "process",
+    collect_metrics: bool = False,
 ) -> Optional[List[T]]:
     """``pool.map`` that survives worker death.
 
@@ -102,11 +115,36 @@ def map_with_pool_retry(
     a replay is safe. Returns ``None`` when the retry also fails (or
     the pool cannot run at all): callers keep their existing serial
     fallback, which is always correct, just slower.
+
+    With ``collect_metrics=True`` each task also snapshots the worker's
+    :mod:`repro.obs` registry before/after and ships the delta home;
+    the parent merges deltas whose pid differs from its own. (The pid
+    guard matters: when :func:`make_executor` silently degrades to
+    threads, the "workers" share the parent registry and their
+    increments already landed — merging the delta again would double
+    count.)
     """
+    if collect_metrics:
+        call: Callable = _call_with_metrics
+        items: Sequence = [(fn, payload) for payload in payloads]
+    else:
+        call, items = fn, payloads
     for attempt in range(2):
         try:
             with make_executor(workers, kind) as pool:
-                return list(pool.map(fn, payloads))
+                results = list(pool.map(call, items))
+            if not collect_metrics:
+                return results
+            from repro.obs import get_registry
+
+            registry = get_registry()
+            own_pid = os.getpid()
+            unpacked: List[T] = []
+            for result, delta in results:
+                if delta.get("pid") != own_pid:
+                    registry.merge_delta(delta)
+                unpacked.append(result)
+            return unpacked
         except BrokenExecutor:
             # Worker death; one rebuild, then give up to the caller.
             # (Must precede RuntimeError: BrokenExecutor subclasses it.)

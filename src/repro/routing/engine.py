@@ -31,6 +31,7 @@ primitives, so every mode returns bit-identical ``(R, hops)`` matrices
 
 from __future__ import annotations
 
+import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -38,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.obs import ENGINE_STATS_MIRROR, get_registry, mirror_counters, trace_span
 from repro.parallel import chunk_evenly, map_with_pool_retry, resolve_workers
 from repro.routing.response_time import (
     PathEngine,
@@ -204,6 +206,16 @@ class TrminEngine:
         dominate.
     executor_kind:
         ``"process"`` (default) or ``"thread"``.
+
+    Attributes
+    ----------
+    stats : EngineStats
+        Cumulative per-engine counters (serial/parallel computes, cache
+        hits, incremental repairs, …). After every pricing call they
+        are mirrored into the process-wide ``trmin.*`` metrics, the
+        call's wall time lands in ``trmin.price_seconds``, and — when
+        tracing is on — the call records a ``trmin.price`` span (see
+        ``docs/observability.md``).
     """
 
     def __init__(
@@ -253,17 +265,25 @@ class TrminEngine:
         model = model if model is not None else self.model
         src = tuple(int(s) for s in sources)
         dst = tuple(int(d) for d in destinations)
-        if (
-            not self.cache_enabled
-            or not src
-            or not dst
-            # Duplicate ids would alias rows/columns in the per-pair
-            # bookkeeping; such requests bypass the cache.
-            or len(set(src)) != len(src)
-            or len(set(dst)) != len(dst)
-        ):
-            return self._compute(model, topology, src, dst, with_paths)
-        return self._cached(model, topology, src, dst, with_paths)
+        start = time.perf_counter()
+        with trace_span("trmin.price", sources=len(src), destinations=len(dst)):
+            if (
+                not self.cache_enabled
+                or not src
+                or not dst
+                # Duplicate ids would alias rows/columns in the per-pair
+                # bookkeeping; such requests bypass the cache.
+                or len(set(src)) != len(src)
+                or len(set(dst)) != len(dst)
+            ):
+                result = self._compute(model, topology, src, dst, with_paths)
+            else:
+                result = self._cached(model, topology, src, dst, with_paths)
+        get_registry().histogram("trmin.price_seconds").observe(
+            time.perf_counter() - start
+        )
+        mirror_counters(self.stats, ENGINE_STATS_MIRROR)
+        return result
 
     def trmin_matrix(
         self,
@@ -311,7 +331,7 @@ class TrminEngine:
             for chunk in chunks
         ]
         results = map_with_pool_retry(
-            _price_chunk, payloads, workers, self.executor_kind
+            _price_chunk, payloads, workers, self.executor_kind, collect_metrics=True
         )
         if results is None:
             # Pool unusable even after a one-shot rebuild (fork bomb

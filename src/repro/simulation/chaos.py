@@ -21,6 +21,7 @@ The harness answers three questions the unit layers cannot:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -40,6 +41,7 @@ from repro.core.metrics import (
 from repro.core.postoffload import QoSClass, StrictPriorityQueue
 from repro.core.thresholds import ThresholdPolicy
 from repro.errors import SimulationError
+from repro.obs import CLIENT_MIRROR, get_registry, mirror_counters, trace_span
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.failures import FailureEvent, FailureInjector, LinkFailureEvent
 from repro.simulation.network_sim import FaultConfig, FaultLogEntry, FaultyNetwork
@@ -226,7 +228,29 @@ def production_loss_audit(
 
 
 def run_scenario(scenario: ChaosScenario) -> ChaosRunResult:
-    """Execute one scenario on a fresh engine; fully deterministic."""
+    """Execute one scenario on a fresh engine; fully deterministic.
+
+    Each run increments ``chaos.runs``, times itself into
+    ``chaos.run_seconds`` and, at the end, publishes the network's and
+    clients' cumulative counters into the ``network.*`` / ``client.*``
+    metrics. With tracing on, the whole run nests under one
+    ``chaos.run`` span.
+    """
+    start = time.perf_counter()
+    with trace_span(
+        "chaos.run", seed=scenario.seed, faulty=not scenario.faults.is_null
+    ):
+        result = _run_scenario_impl(scenario)
+    registry = get_registry()
+    registry.counter("chaos.runs").inc()
+    registry.histogram("chaos.run_seconds").observe(time.perf_counter() - start)
+    result.network.publish_metrics()
+    for client in result.clients.values():
+        mirror_counters(client, CLIENT_MIRROR)
+    return result
+
+
+def _run_scenario_impl(scenario: ChaosScenario) -> ChaosRunResult:
     topology = build_fat_tree(scenario.pods)
     LinkUtilizationModel(0.2, 0.7, seed=scenario.seed).apply(topology)
     engine = SimulationEngine()
@@ -360,9 +384,28 @@ class ScenarioComparison:
 
 
 def evaluate_scenario(scenario: ChaosScenario) -> ScenarioComparison:
-    """Run the scenario and its fault-free reference; compare."""
-    faulty = run_scenario(scenario)
-    reference = run_scenario(scenario.reference())
+    """Run the scenario and its fault-free reference twin; compare.
+
+    Parameters
+    ----------
+    scenario : ChaosScenario
+        The lossy scenario to evaluate. Its fault-free twin
+        (``scenario.reference()``) is run on the same seed so the two
+        runs differ only by injected faults.
+
+    Returns
+    -------
+    ScenarioComparison
+        ``converged`` (identical final assignment signatures),
+        placement ``divergence``, ``recovery_s`` after the disruption
+        and message ``overhead_pct``; the full faulty and reference
+        :class:`ChaosRunResult` objects ride along. Each evaluation
+        also increments the ``chaos.scenarios_evaluated`` metric.
+    """
+    with trace_span("chaos.evaluate", seed=scenario.seed):
+        faulty = run_scenario(scenario)
+        reference = run_scenario(scenario.reference())
+    get_registry().counter("chaos.scenarios_evaluated").inc()
     divergence = placement_divergence(reference.signature, faulty.signature)
     recovery = recovery_time_s(
         faulty.checkpoints, reference.signature, scenario.disruption_time

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequ
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import FAULTY_NETWORK_MIRROR, NETWORK_MIRROR, mirror_counters
 from repro.routing.shortest import hop_constrained_shortest
 from repro.simulation.engine import SimulationEngine
 from repro.topology.graph import Topology
@@ -59,6 +60,19 @@ class MessageNetwork:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+
+    # -- observability ----------------------------------------------------------
+    #: Counter attribute -> registry metric, consumed by
+    #: :meth:`publish_metrics` (subclasses extend it).
+    METRIC_MIRROR = NETWORK_MIRROR
+
+    def publish_metrics(self) -> None:
+        """Fold this fabric's cumulative counters into the process-wide
+        ``network.*`` metrics (idempotent; see
+        :func:`repro.obs.mirror_counters`). Called at sync points —
+        e.g. the end of a chaos run — rather than per message, so the
+        per-send fast path stays a plain attribute increment."""
+        mirror_counters(self, self.METRIC_MIRROR)
 
     # -- endpoints --------------------------------------------------------------
     def register(self, node_id: int, receiver: Receiver) -> None:
@@ -239,6 +253,8 @@ class FaultyNetwork(MessageNetwork):
         self.duplicates_injected = 0
         self.reordered = 0
         self.event_log: List[FaultLogEntry] = []
+
+    METRIC_MIRROR = FAULTY_NETWORK_MIRROR
 
     # -- partitions -------------------------------------------------------------
     def set_partition(self, groups: Sequence[Sequence[int]]) -> None:

@@ -141,5 +141,16 @@ def test_resilience_experiment_writes_artifact(tmp_path):
     (record,) = payload["runs"]
     assert record["converged"] is True
     assert record["production_loss_mb"] == 0.0
-    assert {"recovery_time_s", "message_overhead_pct", "retransmissions",
+    assert {"recovery_time_s", "message_overhead_pct", "counters",
             "manager_took_over_at"} <= set(record)
+    # Per-run counters use the metric-catalog vocabulary, nothing else
+    # (regression guard for the retransmits/retransmissions drift).
+    assert {"transport.retransmissions", "network.messages_dropped",
+            "network.faults_dropped",
+            "network.duplicates_injected"} <= set(record["counters"])
+    assert not any("retransmit" in key for key in record)
+    # The artifact carries the observability bundle: registry snapshot
+    # with catalog metrics, span summary, profile numbers.
+    obs = payload["observability"]
+    assert {"metrics", "spans", "profile"} <= set(obs)
+    assert "transport.retransmissions" in obs["metrics"]["metrics"]
