@@ -1,13 +1,18 @@
 """Ablation: heuristic hop radius (Algorithm 1 generalization).
 
 DESIGN.md ablation 3: the paper fixes max-hop = 1; widening the radius
-trades runtime for lower HFR, interpolating toward the full ILP.
+trades runtime for lower HFR, interpolating toward the full ILP. The
+radius-1 row is additionally ablated over the *solver*: the vectorized
+CSR kernel vs. the reference per-node loop, which quantifies the
+kernel's speedup on this fixture (the dedicated gate lives in
+``benchmarks/bench_heuristic_kernel.py``).
 """
 
 import numpy as np
 import pytest
 
 from repro.core import PlacementProblem, ThresholdPolicy, classify_network, solve_heuristic
+from repro.core.heuristic import solve_heuristic_reference
 from repro.topology import CapacityModel, LinkUtilizationModel, build_fat_tree
 
 
@@ -34,6 +39,21 @@ def test_ablation_heuristic_radius(benchmark, problem, radius):
     report = benchmark(lambda: solve_heuristic(problem, hop_radius=radius))
     # Wider radius can only reduce (or keep) the failure rate.
     assert 0.0 <= report.hfr_pct <= 100.0
+
+
+@pytest.mark.parametrize(
+    "solver",
+    [solve_heuristic, solve_heuristic_reference],
+    ids=["kernel", "reference"],
+)
+def test_ablation_heuristic_solver(benchmark, problem, solver):
+    # Radius 1, kernel vs. reference loop — same HeuristicReport either
+    # way (bit-identity is property-tested in tests/core/), so the only
+    # difference the benchmark sees is wall time.
+    report = benchmark(lambda: solver(problem))
+    expected = solve_heuristic_reference(problem)
+    assert report.hfr_pct == expected.hfr_pct
+    assert tuple(report.assignments) == tuple(expected.assignments)
 
 
 def test_radius_monotonically_reduces_hfr(problem):

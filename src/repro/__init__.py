@@ -27,6 +27,7 @@ from repro.core import (
     PlacementReport,
     ThresholdPolicy,
     solve_heuristic,
+    solve_heuristic_reference,
 )
 from repro.errors import ReproError
 from repro.routing import PathEngine, ResponseTimeModel
@@ -64,4 +65,5 @@ __all__ = [
     "__version__",
     "build_fat_tree",
     "solve_heuristic",
+    "solve_heuristic_reference",
 ]

@@ -10,7 +10,11 @@ from __future__ import annotations
 from repro.core.audit import AuditReport, audit_system
 from repro.core.client import DUSTClient, HostedWorkload
 from repro.core.failover import ManagerSnapshot, SnapshotStore, StandbyManager
-from repro.core.heuristic import HeuristicReport, solve_heuristic
+from repro.core.heuristic import (
+    HeuristicReport,
+    solve_heuristic,
+    solve_heuristic_reference,
+)
 from repro.core.manager import DUSTManager, ManagerCounters
 from repro.core.messages import (
     Ack,
@@ -160,5 +164,6 @@ __all__ = [
     "placement_divergence",
     "recovery_time_s",
     "solve_heuristic",
+    "solve_heuristic_reference",
     "summarize_categories",
 ]

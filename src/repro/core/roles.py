@@ -101,7 +101,18 @@ def classify_network(
                 f"participation mask shape {part.shape} does not match "
                 f"capacities shape {caps.shape}"
             )
-    roles: Dict[int, NodeRole] = {}
-    for node_id, (cap, p) in enumerate(zip(caps, part)):
-        roles[node_id] = classify_node(float(cap), policy, bool(p))
+    # Vectorized classify_node with the same precedence: opted-out
+    # first, then busy (>= C_max), then candidate (<= CO_max).
+    codes = np.where(
+        ~part,
+        3,
+        np.where(caps >= policy.c_max, 0, np.where(caps <= policy.co_max, 1, 2)),
+    )
+    by_code = (
+        NodeRole.BUSY,
+        NodeRole.OFFLOAD_CANDIDATE,
+        NodeRole.NEUTRAL,
+        NodeRole.NONE_OFFLOADING,
+    )
+    roles = {node_id: by_code[c] for node_id, c in enumerate(codes.tolist())}
     return RoleAssignment(roles=roles)

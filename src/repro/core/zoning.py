@@ -22,7 +22,7 @@ bench ``benchmarks/bench_ablation_zoning.py`` quantifies the trade.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -150,12 +150,20 @@ class ZonedPlacementReport:
     zone_reports: Tuple[Tuple[Zone, PlacementReport], ...]
     unplaced_per_zone: Dict[int, float]  # excess stuck in an infeasible zone
     total_seconds: float
+    #: Algorithm-1 relief of infeasible zones (zone id -> HeuristicReport),
+    #: populated when the engine runs with ``heuristic_relief=True``; the
+    #: relieved amounts are already subtracted from ``unplaced_per_zone``.
+    heuristic_relief_per_zone: Dict[int, object] = field(default_factory=dict)
 
     @property
     def total_offloaded(self) -> float:
-        return float(
+        lp = float(
             sum(r.total_offloaded for _, r in self.zone_reports if r.feasible)
         )
+        relief = float(
+            sum(r.total_offloaded for r in self.heuristic_relief_per_zone.values())
+        )
+        return lp + relief
 
     @property
     def total_unplaced(self) -> float:
@@ -194,6 +202,8 @@ class ZonedPlacementReport:
         out: List[PlacementAssignment] = []
         for _, report in self.zone_reports:
             out.extend(report.assignments)
+        for relief in self.heuristic_relief_per_zone.values():
+            out.extend(relief.assignments)
         return out
 
 
@@ -205,10 +215,16 @@ class ZonedPlacementEngine:
         engine: Optional[PlacementEngine] = None,
         max_hops: Optional[int] = 7,
         workers: Optional[int] = None,
+        heuristic_relief: bool = False,
     ) -> None:
         self.engine = engine or PlacementEngine(with_routes=False, workers=workers)
         self.max_hops = max_hops
         self.workers = workers
+        #: When True, an infeasible zone gets a second chance through
+        #: the vectorized Algorithm-1 kernel: partial one-hop relief
+        #: beats leaving the whole zone's excess stranded (the same
+        #: policy DUSTManager applies on infeasible rounds).
+        self.heuristic_relief = heuristic_relief
 
     def solve(
         self,
@@ -248,14 +264,24 @@ class ZonedPlacementEngine:
 
         zone_reports: List[Tuple[Zone, PlacementReport]] = []
         unplaced: Dict[int, float] = {}
+        relief_reports: Dict[int, object] = {}
         for zone, problem, report in zip(zones, problems, reports):
             zone_reports.append((zone, report))
             if not report.feasible:
-                unplaced[zone.zone_id] = float(problem.total_excess)
+                stuck = float(problem.total_excess)
+                if self.heuristic_relief and problem.busy and problem.candidates:
+                    from repro.core.heuristic import solve_heuristic
+
+                    relief = solve_heuristic(problem)
+                    if relief.assignments:
+                        relief_reports[zone.zone_id] = relief
+                        stuck = max(0.0, stuck - relief.total_offloaded)
+                unplaced[zone.zone_id] = stuck
         return ZonedPlacementReport(
             zone_reports=tuple(zone_reports),
             unplaced_per_zone=unplaced,
             total_seconds=time.perf_counter() - start,
+            heuristic_relief_per_zone=relief_reports,
         )
 
     def _solve_all(self, problems: List[PlacementProblem]) -> List[PlacementReport]:

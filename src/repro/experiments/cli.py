@@ -44,8 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", type=str, default=None,
-        help="write machine-readable metrics to this path (experiments "
-        "that support it: resilience)",
+        help="write the regenerated results to this path as JSON "
+        "(resilience keeps its richer metrics dump)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for the sharded sweeps (fig10/fig11/"
+        "fig12); default: REPRO_WORKERS or the CPU count",
     )
     parser.add_argument(
         "--trace", type=str, default=None,
@@ -54,6 +59,26 @@ def build_parser() -> argparse.ArgumentParser:
         "ui.perfetto.dev)",
     )
     return parser
+
+
+def _write_results_json(results, path: str) -> None:
+    """Machine-readable dump of :class:`ExperimentResult` rows."""
+    import json
+
+    payload = [
+        {
+            "experiment_id": r.experiment_id,
+            "title": r.title,
+            "columns": list(r.columns),
+            "rows": [list(row) for row in r.rows],
+            "params": {k: v for k, v in r.params},
+            "observations": r.observations,
+            "elapsed_s": r.elapsed_s,
+        }
+        for r in results
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -83,12 +108,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         entry_overrides = dict(overrides)
         if eid in ("fig10", "fig11", "fig12") and "iterations" in entry_overrides:
             entry_overrides.pop("iterations")
+        if eid in ("fig10", "fig11", "fig12") and args.workers is not None:
+            entry_overrides["workers"] = args.workers
         if eid != "resilience":
             entry_overrides.pop("json_path", None)
         result = run_experiment(eid, quick=args.quick, **entry_overrides)
         results.append(result)
         print(result.to_text())
         print()
+    if args.json is not None and ids != ["resilience"]:
+        # Resilience alone writes its own metrics file; every other run
+        # gets the generic results dump.
+        _write_results_json(results, args.json)
+        print(f"json written to {args.json}")
     if args.output:
         from repro.experiments.report import write_report
 

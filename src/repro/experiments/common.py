@@ -113,6 +113,41 @@ def timed(fn: Callable[[], object]) -> Tuple[object, float]:
     return result, time.perf_counter() - start
 
 
+def run_sharded_sweep(
+    point_fn: Callable,
+    payloads: Sequence,
+    workers: Optional[int] = None,
+    kind: str = "process",
+) -> List:
+    """Shard independent experiment points over the worker pool.
+
+    The unit of work is one *point* — e.g. one (k, seed) instance of a
+    scalability sweep. ``point_fn`` must be a module-level (picklable)
+    callable of one payload; payloads should carry plain arrays (ship
+    :class:`~repro.topology.graph.TopologyArrays`, not ``Topology``
+    object graphs — a worker materializes its own topology). Results
+    come back in payload order; each worker's obs-registry delta is
+    merged into the parent registry via ``collect_metrics=True``, so
+    counters and histograms read the same as a serial run.
+
+    Any pool failure (sandboxed environment, unpicklable payload,
+    worker death twice) degrades to the serial loop, which is always
+    correct — just slower.
+    """
+    from repro.parallel import map_with_pool_retry, resolve_workers
+
+    payloads = list(payloads)
+    workers = resolve_workers(workers, task_count=len(payloads))
+    if workers <= 1 or len(payloads) < 2:
+        return [point_fn(p) for p in payloads]
+    results = map_with_pool_retry(
+        point_fn, payloads, workers, kind=kind, collect_metrics=True
+    )
+    if results is None:
+        return [point_fn(p) for p in payloads]
+    return results
+
+
 #: Paper Table I, rendered for completeness (the only table in the paper).
 NOTATION_ROWS: Tuple[Tuple[str, str], ...] = (
     ("G = (V, E)", "undirected graph: V nodes, E links"),

@@ -16,11 +16,22 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_sharded_sweep
 from repro.experiments.fig8_maxhop_smallscale import mean_solve_time
 
 DEFAULT_HOPS_8K: Tuple[int, ...] = (2, 3, 4, 5, 6, 7)
 DEFAULT_HOPS_16K: Tuple[int, ...] = (2, 3, 4, 5)
+
+
+def _sweep_point(payload: Tuple[int, int, int, int]) -> float:
+    """One (k, max-hop) point — module-level so pool workers can run it.
+
+    No arrays ride along here: ``mean_solve_time`` rebuilds through the
+    fat-tree blueprint LRU, so each worker pays one build per k at most.
+    """
+    k, h, iters, seed = payload
+    mean_s, _ = mean_solve_time(k, h, iters, seed=seed)
+    return mean_s
 
 
 def run(
@@ -29,17 +40,26 @@ def run(
     hops_8k: Sequence[int] = DEFAULT_HOPS_8K,
     hops_16k: Sequence[int] = DEFAULT_HOPS_16K,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Regenerate Fig. 10a/10b's time-vs-max-hop curves."""
+    """Regenerate Fig. 10a/10b's time-vs-max-hop curves.
+
+    (k, max-hop) points are independent solves, so they shard over the
+    worker pool like the fig11/fig12 scale points.
+    """
     start = time.perf_counter()
+    payloads = [
+        (k, h, iters, seed)
+        for k, hops, iters in ((8, hops_8k, iterations_8k), (16, hops_16k, iterations_16k))
+        for h in hops
+    ]
+    times = run_sharded_sweep(_sweep_point, payloads, workers=workers)
     rows = []
     times_16k = {}
-    for k, hops, iters in ((8, hops_8k, iterations_8k), (16, hops_16k, iterations_16k)):
-        for h in hops:
-            mean_s, _ = mean_solve_time(k, h, iters, seed=seed)
-            rows.append((f"{k}-k", h, mean_s))
-            if k == 16:
-                times_16k[h] = mean_s
+    for (k, h, _, _), mean_s in zip(payloads, times):
+        rows.append((f"{k}-k", h, mean_s))
+        if k == 16:
+            times_16k[h] = mean_s
     blowup = (
         times_16k[5] / times_16k[4]
         if 4 in times_16k and 5 in times_16k and times_16k[4] > 0

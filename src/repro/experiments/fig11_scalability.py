@@ -22,10 +22,11 @@ from repro.core.metrics import fit_power_law
 from repro.core.placement import PlacementEngine, PlacementProblem, PlacementSession
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
-from repro.experiments.common import ExperimentResult, IterationSampler
+from repro.experiments.common import ExperimentResult, IterationSampler, run_sharded_sweep
 from repro.routing import TrminEngine
 from repro.routing.response_time import PathEngine, ResponseTimeModel
-from repro.topology.fattree import build_fat_tree
+from repro.topology.fattree import build_fat_tree, fat_tree_arrays
+from repro.topology.graph import Topology, TopologyArrays
 
 #: (k, iterations, run_ilp, ilp_max_hops): the ILP column is produced for
 #: sizes where the paper itself still ran the optimization; the paper
@@ -45,6 +46,7 @@ def scalability_point(
     ilp_max_hops: Optional[int],
     seed: int = 0,
     policy: Optional[ThresholdPolicy] = None,
+    arrays: Optional[TopologyArrays] = None,
 ) -> Tuple[float, float, float]:
     """(mean HFR %, mean ILP seconds, mean heuristic seconds) at size k.
 
@@ -53,9 +55,13 @@ def scalability_point(
     band (≈48% at small scale decaying to ≈11% at 5120 nodes) — with
     more generous candidate thresholds one-hop capacity stops being
     scarce at scale and HFR collapses to zero instead.
+
+    ``arrays`` is the sharded-sweep path (see fig12): the iteration
+    stream depends only on ``seed``, so per-seed HFR values are
+    identical whether this point runs inline or on a pool worker.
     """
     policy = policy or ThresholdPolicy(c_max=80.0, co_max=35.0, x_min=10.0)
-    topology = build_fat_tree(k)
+    topology = Topology.from_arrays(arrays) if arrays is not None else build_fat_tree(k)
     sampler = IterationSampler(topology, x_min=policy.x_min, seed=seed)
     ilp_session = PlacementSession(
         engine=PlacementEngine(
@@ -93,16 +99,44 @@ def scalability_point(
     )
 
 
+def _sweep_point(payload: dict) -> Tuple[float, float, float]:
+    """One (k, seed) scale point — module-level so pool workers can run it."""
+    return scalability_point(
+        payload["k"],
+        payload["iterations"],
+        payload["run_ilp"],
+        payload["ilp_max_hops"],
+        seed=payload["seed"],
+        arrays=payload["arrays"],
+    )
+
+
 def run(
     scales: Sequence[Tuple[int, int, bool, Optional[int]]] = DEFAULT_SCALES,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Regenerate Fig. 11a (HFR vs size) and 11b (ILP time vs size)."""
+    """Regenerate Fig. 11a (HFR vs size) and 11b (ILP time vs size).
+
+    Scale points shard over the worker pool: one blueprint build per k,
+    shipped to workers as plain arrays (see :func:`scalability_point`).
+    """
     start = time.perf_counter()
+    payloads = [
+        {
+            "k": k,
+            "iterations": iterations,
+            "run_ilp": run_ilp,
+            "ilp_max_hops": ilp_hops,
+            "seed": seed,
+            "arrays": fat_tree_arrays(k),
+        }
+        for k, iterations, run_ilp, ilp_hops in scales
+    ]
+    points = run_sharded_sweep(_sweep_point, payloads, workers=workers)
     rows = []
     sizes, hfr_series = [], []
-    for k, iterations, run_ilp, ilp_hops in scales:
-        hfr, ilp_s, _ = scalability_point(k, iterations, run_ilp, ilp_hops, seed=seed)
+    for (k, iterations, run_ilp, ilp_hops), (hfr, ilp_s, _) in zip(scales, points):
         nodes = 5 * k * k // 4
         rows.append((f"{k}-k", nodes, hfr, ilp_s if run_ilp else float("nan")))
         if hfr == hfr and hfr > 0:

@@ -20,9 +20,10 @@ from repro.core.heuristic import solve_heuristic
 from repro.core.placement import PlacementProblem
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
-from repro.experiments.common import ExperimentResult, IterationSampler
+from repro.experiments.common import ExperimentResult, IterationSampler, run_sharded_sweep
 from repro.routing import PathEngine, ResponseTimeModel, TrminEngine
-from repro.topology.fattree import build_fat_tree
+from repro.topology.fattree import build_fat_tree, fat_tree_arrays
+from repro.topology.graph import Topology, TopologyArrays
 
 DEFAULT_SCALES: Tuple[Tuple[int, int], ...] = ((4, 10), (8, 5), (16, 3), (64, 1))
 
@@ -32,10 +33,18 @@ def heuristic_time_at_scale(
     iterations: int,
     seed: int = 0,
     policy: Optional[ThresholdPolicy] = None,
+    arrays: Optional[TopologyArrays] = None,
 ) -> Tuple[float, float, int]:
-    """(mean heuristic seconds, mean HFR %, busy count of last state)."""
+    """(mean heuristic seconds, mean HFR %, busy count of last state).
+
+    ``arrays`` is the sharded-sweep path: a pool worker receives the
+    fat-tree as a plain-array blueprint and materializes its own
+    mutable topology, instead of unpickling a ``Topology`` object
+    graph. The iteration stream depends only on ``seed``, so the
+    sharded and serial runs sample identical network states.
+    """
     policy = policy or ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
-    topology = build_fat_tree(k)
+    topology = Topology.from_arrays(arrays) if arrays is not None else build_fat_tree(k)
     sampler = IterationSampler(topology, x_min=policy.x_min, seed=seed)
     # Shared across iterations at this scale so lane pricing reuses the
     # version-cached Trmin matrices instead of re-deriving them per state.
@@ -65,15 +74,36 @@ def heuristic_time_at_scale(
     )
 
 
+def _sweep_point(payload: dict) -> Tuple[float, float, int]:
+    """One (k, seed) scale point — module-level so pool workers can run it."""
+    return heuristic_time_at_scale(
+        payload["k"],
+        payload["iterations"],
+        seed=payload["seed"],
+        arrays=payload["arrays"],
+    )
+
+
 def run(
-    scales: Sequence[Tuple[int, int]] = DEFAULT_SCALES, seed: int = 0
+    scales: Sequence[Tuple[int, int]] = DEFAULT_SCALES,
+    seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Regenerate Fig. 12's heuristic-runtime-vs-size series."""
+    """Regenerate Fig. 12's heuristic-runtime-vs-size series.
+
+    Scale points are independent, so they shard over the worker pool:
+    each fat-tree is built once per k (the blueprint LRU) and shipped
+    to workers as plain arrays.
+    """
     start = time.perf_counter()
+    payloads = [
+        {"k": k, "iterations": iterations, "seed": seed, "arrays": fat_tree_arrays(k)}
+        for k, iterations in scales
+    ]
+    points = run_sharded_sweep(_sweep_point, payloads, workers=workers)
     rows = []
     times = []
-    for k, iterations in scales:
-        mean_s, hfr, busy = heuristic_time_at_scale(k, iterations, seed=seed)
+    for (k, iterations), (mean_s, hfr, busy) in zip(scales, points):
         nodes = 5 * k * k // 4
         rows.append((f"{k}-k", nodes, mean_s, hfr, busy))
         times.append(mean_s)

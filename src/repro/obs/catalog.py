@@ -16,12 +16,14 @@ prefix     owner layer
 trmin      route-pricing engine (:mod:`repro.routing.engine`)
 lp         LP/ILP backends (:mod:`repro.lp`)
 placement  Eq.-3 placement engine/session (:mod:`repro.core.placement`)
+heuristic  Algorithm-1 vectorized kernel (:mod:`repro.core.heuristic`)
 manager    DUST-Manager protocol loops (:mod:`repro.core.manager`)
 client     DUST-Client endpoints (:mod:`repro.core.client`)
 network    message fabric (:mod:`repro.simulation.network_sim`)
 transport  reliable-delivery layer (:mod:`repro.core.messages`)
 failover   snapshot/standby machinery (:mod:`repro.core.failover`)
 chaos      chaos harness (:mod:`repro.simulation.chaos`)
+topology   CSR adjacency cache (:mod:`repro.topology.graph`)
 ========== ==========================================================
 
 :data:`COUNTER_ALIASES` maps the legacy, pre-catalog key spellings that
@@ -102,6 +104,12 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "LP phase of one placement solve"),
     ("histogram", "placement.total_seconds", "seconds", "repro.core.placement",
      "End-to-end wall time of one placement solve"),
+    # -- heuristic: Algorithm-1 vectorized kernel ------------------------------------
+    ("histogram", "heuristic.kernel.batch_size", "busy-nodes",
+     "repro.core.heuristic",
+     "Busy-node batch size of one vectorized kernel solve"),
+    ("counter", "heuristic.kernel.fallbacks", "count", "repro.core.heuristic",
+     "Solves routed to the reference loop (hop_radius > 1)"),
     # -- manager: protocol loops ----------------------------------------------------
     ("counter", "manager.acks_sent", "count", "repro.core.manager",
      "Admission ACKs sent to announcing clients"),
@@ -201,6 +209,11 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "evaluate_scenario comparisons completed"),
     ("histogram", "chaos.run_seconds", "seconds", "repro.simulation.chaos",
      "Wall time of one scenario run"),
+    # -- topology: CSR adjacency cache ----------------------------------------------
+    ("counter", "topology.csr_cache_hits", "count", "repro.topology.graph",
+     "csr_adjacency calls answered by the version-keyed cache"),
+    ("counter", "topology.csr_cache_misses", "count", "repro.topology.graph",
+     "csr_adjacency rebuilds after a topology version change"),
 ]
 
 #: Legacy / shorthand counter keys -> catalog names. Applied to report

@@ -237,6 +237,11 @@ class MetricsRegistry:
     def _register(
         self, kind: str, name: str, unit: str, owner: str, description: str
     ) -> _Instrument:
+        # Fast path: repeat lookups of an existing metric skip name
+        # validation and the lock (dict reads are atomic in CPython).
+        existing = self._metrics.get(name)
+        if existing is not None and existing.kind == kind:
+            return existing
         if not name or any(ch.isspace() for ch in name):
             raise MetricError(f"invalid metric name {name!r}")
         with self._lock:

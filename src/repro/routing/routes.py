@@ -43,6 +43,21 @@ class Path:
         if len(set(self.nodes)) != len(self.nodes):
             raise RoutingError(f"path revisits a node: {self.nodes}")
 
+    @classmethod
+    def one_hop(cls, u: int, v: int, edge_id: int) -> "Path":
+        """Build a two-node path without the generic validation pass.
+
+        The invariants checked in ``__post_init__`` reduce to ``u != v``
+        for a single hop, so hot callers (the vectorized Algorithm-1
+        kernel emits one path per assignment) can skip the rest.
+        """
+        if u == v:
+            raise RoutingError(f"path revisits a node: {(u, v)}")
+        path = object.__new__(cls)
+        object.__setattr__(path, "nodes", (u, v))
+        object.__setattr__(path, "edges", (edge_id,))
+        return path
+
     @property
     def source(self) -> int:
         return self.nodes[0]

@@ -8,6 +8,9 @@ from repro.topology.fattree import (
     FatTreeLayout,
     build_fat_tree,
     build_fat_tree_with_layout,
+    fat_tree_arrays,
+    fat_tree_cache_clear,
+    fat_tree_cache_info,
     fat_tree_edge_count,
     fat_tree_node_count,
 )
@@ -19,7 +22,7 @@ from repro.topology.generators import (
     build_ring,
     build_star,
 )
-from repro.topology.graph import Node, NodeKind, Topology
+from repro.topology.graph import CSRAdjacency, Node, NodeKind, Topology, TopologyArrays
 from repro.topology.links import (
     MIN_EFFECTIVE_BANDWIDTH_MBPS,
     BandwidthConvention,
@@ -30,9 +33,11 @@ from repro.topology.links import (
 
 __all__ = [
     "BandwidthConvention",
+    "CSRAdjacency",
     "CapacityDistribution",
     "CapacityModel",
     "FatTreeLayout",
+    "TopologyArrays",
     "Link",
     "LinkUtilizationModel",
     "MIN_EFFECTIVE_BANDWIDTH_MBPS",
@@ -49,6 +54,9 @@ __all__ = [
     "build_ring",
     "build_star",
     "effective_bandwidths",
+    "fat_tree_arrays",
+    "fat_tree_cache_clear",
+    "fat_tree_cache_info",
     "fat_tree_edge_count",
     "fat_tree_node_count",
 ]

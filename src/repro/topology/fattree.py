@@ -22,10 +22,11 @@ be attached with ``with_servers=True`` for testbed-style scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from repro.errors import TopologyError
-from repro.topology.graph import NodeKind, Topology
+from repro.topology.graph import NodeKind, Topology, TopologyArrays
 from repro.topology.links import Link
 
 
@@ -87,7 +88,77 @@ def build_fat_tree_with_layout(
     name: str = "",
 ):
     """Like :func:`build_fat_tree` but also returns the
-    :class:`FatTreeLayout` index map."""
+    :class:`FatTreeLayout` index map.
+
+    Construction is memoized per parameter tuple: the O(k^3) wiring
+    runs once, is cached as a plain-array blueprint, and every call
+    materializes a fresh, independently mutable :class:`Topology` from
+    it (so mutating one build — and its ``version`` counter — never
+    leaks into another).
+    """
+    arrays, layout = _fat_tree_blueprint(
+        k, float(capacity_mbps), float(latency_ms), bool(with_servers), str(name)
+    )
+    topo = Topology.from_arrays(arrays)
+    return topo, FatTreeLayout(
+        k=layout.k,
+        core=list(layout.core),
+        aggregation=list(layout.aggregation),
+        edge=list(layout.edge),
+        servers=list(layout.servers),
+    )
+
+
+def fat_tree_arrays(
+    k: int,
+    capacity_mbps: float = 10_000.0,
+    latency_ms: float = 0.05,
+    with_servers: bool = False,
+    name: str = "",
+) -> TopologyArrays:
+    """The cached array blueprint of a fat-tree, without materializing
+    a :class:`Topology` — what sweep shards ship to pool workers."""
+    arrays, _ = _fat_tree_blueprint(
+        k, float(capacity_mbps), float(latency_ms), bool(with_servers), str(name)
+    )
+    return arrays
+
+
+def fat_tree_cache_info():
+    """``functools.lru_cache`` statistics of the blueprint memo."""
+    return _fat_tree_blueprint.cache_info()
+
+
+def fat_tree_cache_clear() -> None:
+    """Drop every memoized blueprint (mostly for tests)."""
+    _fat_tree_blueprint.cache_clear()
+
+
+@lru_cache(maxsize=16)
+def _fat_tree_blueprint(
+    k: int,
+    capacity_mbps: float,
+    latency_ms: float,
+    with_servers: bool,
+    name: str,
+) -> Tuple[TopologyArrays, FatTreeLayout]:
+    topo, layout = _build_fat_tree_uncached(
+        k,
+        capacity_mbps=capacity_mbps,
+        latency_ms=latency_ms,
+        with_servers=with_servers,
+        name=name,
+    )
+    return topo.to_arrays(), layout
+
+
+def _build_fat_tree_uncached(
+    k: int,
+    capacity_mbps: float = 10_000.0,
+    latency_ms: float = 0.05,
+    with_servers: bool = False,
+    name: str = "",
+):
     if k < 2 or k % 2 != 0:
         raise TopologyError(f"fat-tree requires an even k >= 2, got {k}")
     half = k // 2

@@ -19,11 +19,63 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import TopologyError
-from repro.topology.links import BandwidthConvention, Link
+from repro.topology.links import (
+    MIN_EFFECTIVE_BANDWIDTH_MBPS,
+    BandwidthConvention,
+    Link,
+)
 
 #: Mutation-journal length cap; once exceeded the oldest entries are
 #: dropped and caches older than the journal horizon must recompute.
 _JOURNAL_CAP = 4096
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Compressed-sparse-row view of a topology's adjacency.
+
+    ``indices[indptr[v]:indptr[v + 1]]`` are ``v``'s neighbors in
+    adjacency-list (insertion) order, ``edge_ids`` the matching edge
+    ids, and ``edge_costs`` the per-*edge* resistance ``1 / Lu_e``
+    (indexed by edge id, not by lane — gather with ``edge_ids``).
+    The arrays are read-only; the vectorized heuristic kernel slices
+    them instead of walking :meth:`Topology.incident` dicts.
+    """
+
+    version: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: np.ndarray
+    edge_costs: np.ndarray
+
+
+@dataclass(frozen=True)
+class TopologyArrays:
+    """Pickle-light snapshot of a topology: plain arrays, no objects.
+
+    Sweep shards ship these to pool workers instead of full
+    :class:`Topology` graphs (object graphs of per-edge dataclasses
+    pickle slowly and defeat fork-time page sharing); a worker
+    materializes a real topology with :meth:`Topology.from_arrays`.
+    Node ``attrs`` are not carried — they are display metadata only.
+    """
+
+    name: str
+    num_nodes: int
+    node_names: Tuple[str, ...]
+    node_kinds: Tuple[str, ...]
+    node_pods: np.ndarray  # -1 encodes "no pod"
+    us: np.ndarray
+    vs: np.ndarray
+    capacity_mbps: np.ndarray
+    utilization: np.ndarray
+    latency_ms: np.ndarray
+    #: Shared CSR wiring (see :class:`CSRAdjacency`): computed once at
+    #: export, so every worker's :meth:`Topology.from_arrays` prefills
+    #: its CSR structure cache instead of re-deriving it per point.
+    csr_indptr: Optional[np.ndarray] = None
+    csr_indices: Optional[np.ndarray] = None
+    csr_edge_ids: Optional[np.ndarray] = None
 
 
 class NodeKind(enum.Enum):
@@ -62,14 +114,68 @@ class Topology:
     def __init__(self, name: str = "topology") -> None:
         self.name = name
         self._nodes: List[Node] = []
-        self._links: List[Link] = []
+        self._links_store: List[Link] = []
+        # Deferred link state set by from_arrays(): (capacity, utilization,
+        # latency) plain lists. Link objects are only materialized when a
+        # caller actually needs them — sweep workers that run the CSR
+        # kernel never do, which keeps from_arrays() allocation-light.
+        self._lazy_links: Optional[Tuple[List[float], List[float], List[float]]] = None
         self._endpoints: List[Tuple[int, int]] = []
-        self._adjacency: List[List[Tuple[int, int]]] = []  # node -> [(neighbor, edge_id)]
+        # node -> [(neighbor, edge_id)]; may also be deferred, backed by
+        # the CSR wiring shipped inside TopologyArrays.
+        self._adjacency_store: List[List[Tuple[int, int]]] = []
+        self._lazy_adjacency: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._edge_index: Dict[Tuple[int, int], int] = {}
         self._version = 0
         # Journal of (version-after-bump, dirty edge ids or None for a
         # structural change); consumed by dirty_edges_since().
         self._journal: List[Tuple[int, Optional[Tuple[int, ...]]]] = []
+        # CSR export caches: structure arrays keyed on (nodes, edges) —
+        # the graph is append-only, so those two counts pin the wiring —
+        # and one costed view per bandwidth convention keyed on version.
+        self._csr_structure: Optional[
+            Tuple[Tuple[int, int], np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        self._csr_cache: Dict[object, CSRAdjacency] = {}
+        # Version-cached (capacity, utilization) edge vectors backing
+        # the vectorized effective_bandwidths().
+        self._link_state_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+
+    # -- lazy materialization -----------------------------------------------------
+    @property
+    def _links(self) -> List[Link]:
+        """Link objects, materialized from deferred arrays on first use."""
+        if self._lazy_links is not None:
+            caps, utils, lats = self._lazy_links
+            trusted = Link.trusted
+            self._links_store = [
+                trusted(caps[e], utils[e], lats[e]) for e in range(len(caps))
+            ]
+            self._lazy_links = None
+        return self._links_store
+
+    @_links.setter
+    def _links(self, value: List[Link]) -> None:
+        self._links_store = value
+        self._lazy_links = None
+
+    @property
+    def _adjacency(self) -> List[List[Tuple[int, int]]]:
+        """Adjacency lists, materialized from the CSR wiring on first use."""
+        if self._lazy_adjacency is not None:
+            ptr_a, nbrs_a, eids_a = self._lazy_adjacency
+            ptr, nbrs, eids = ptr_a.tolist(), nbrs_a.tolist(), eids_a.tolist()
+            self._adjacency_store = [
+                list(zip(nbrs[ptr[i] : ptr[i + 1]], eids[ptr[i] : ptr[i + 1]]))
+                for i in range(len(ptr) - 1)
+            ]
+            self._lazy_adjacency = None
+        return self._adjacency_store
+
+    @_adjacency.setter
+    def _adjacency(self, value: List[List[Tuple[int, int]]]) -> None:
+        self._adjacency_store = value
+        self._lazy_adjacency = None
 
     # -- versioning ---------------------------------------------------------------
     @property
@@ -145,9 +251,20 @@ class Topology:
             )
         if values.size and (values.min() < 0.0 or values.max() > 1.0):
             raise TopologyError("link utilizations must be in [0, 1]")
-        for link, value in zip(self._links, values):
-            link.utilization = float(value)
+        prev = self._link_state_cache
+        prev_current = prev is not None and prev[0] == self._version
+        if self._lazy_links is not None:
+            caps, _, lats = self._lazy_links
+            self._lazy_links = (caps, values.tolist(), lats)
+        else:
+            for link, value in zip(self._links_store, values.tolist()):
+                link.utilization = value
         self._bump(range(self.num_edges))
+        # The new state is already in hand — when the cached capacity
+        # vector was current, refresh the cache in place instead of
+        # re-walking every Link on the next read.
+        if prev_current:
+            self._link_state_cache = (self._version, prev[1], values.copy())
 
     def touch_links(self, edge_ids: Optional[Iterable[int]] = None) -> None:
         """Declare that the given links (all, when ``None``) were
@@ -210,7 +327,9 @@ class Topology:
 
     @property
     def num_edges(self) -> int:
-        return len(self._links)
+        if self._lazy_links is not None:
+            return len(self._lazy_links[0])
+        return len(self._links_store)
 
     @property
     def nodes(self) -> Sequence[Node]:
@@ -273,11 +392,73 @@ class Topology:
         return f"Topology({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"
 
     # -- vectorized views -----------------------------------------------------------
+    def _link_state_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Version-cached ``(capacity_mbps, utilization)`` edge vectors.
+
+        Rebuilt lazily from the ``Link`` objects when the version moved;
+        the versioned mutation API keeps them truthful the same way it
+        keeps the CSR cache truthful.
+        """
+        cached = self._link_state_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        if self._lazy_links is not None:
+            caps, utils, _ = self._lazy_links
+            capacity = np.asarray(caps, dtype=float)
+            utilization = np.asarray(utils, dtype=float)
+        else:
+            links = self._links_store
+            n = len(links)
+            capacity = np.fromiter(
+                (link.capacity_mbps for link in links), dtype=float, count=n
+            )
+            utilization = np.fromiter(
+                (link.utilization for link in links), dtype=float, count=n
+            )
+        self._link_state_cache = (self._version, capacity, utilization)
+        return capacity, utilization
+
+    def _effective_bandwidths_cached(
+        self, convention: BandwidthConvention
+    ) -> np.ndarray:
+        """Vectorized ``Lu_e`` from the version-cached state arrays.
+
+        Elementwise identical to ``Link.effective_mbps`` per edge (same
+        IEEE multiply and floor). Only version-keyed consumers (the CSR
+        export) may use this: out-of-band ``Link`` writes are invisible
+        until ``touch_links`` bumps the version — exactly the staleness
+        contract ``csr_adjacency`` already documents.
+        """
+        capacity, utilization = self._link_state_arrays()
+        if convention is BandwidthConvention.AVAILABLE:
+            raw = capacity * (1.0 - utilization)
+        else:
+            raw = capacity * utilization
+        return np.maximum(raw, MIN_EFFECTIVE_BANDWIDTH_MBPS)
+
     def effective_bandwidths(
         self, convention: BandwidthConvention = BandwidthConvention.AVAILABLE
     ) -> np.ndarray:
-        """Per-edge ``Lu_e`` vector (Mbps), indexed by edge id."""
-        return np.array([link.effective_mbps(convention) for link in self._links])
+        """Per-edge ``Lu_e`` vector (Mbps), indexed by edge id.
+
+        Always re-reads the ``Link`` objects so that direct field
+        writes (no version bump) stay visible, matching the historical
+        contract relied on by rerouting and the LP pricing paths.
+        """
+        if self._lazy_links is not None:
+            # No Link objects exist yet, so no out-of-band writes can
+            # have happened; compute straight from the deferred arrays.
+            caps, utils, _ = self._lazy_links
+            capacity = np.asarray(caps, dtype=float)
+            utilization = np.asarray(utils, dtype=float)
+            if convention is BandwidthConvention.AVAILABLE:
+                raw = capacity * (1.0 - utilization)
+            else:
+                raw = capacity * utilization
+            return np.maximum(raw, MIN_EFFECTIVE_BANDWIDTH_MBPS)
+        return np.array(
+            [link.effective_mbps(convention) for link in self._links_store]
+        )
 
     def edge_endpoint_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Endpoint arrays ``(us, vs)`` for all edges."""
@@ -285,6 +466,162 @@ class Topology:
             return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
         arr = np.asarray(self._endpoints, dtype=int)
         return arr[:, 0], arr[:, 1]
+
+    def _ensure_csr_structure(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read-only ``(indptr, indices, edge_ids)`` wiring arrays,
+        rebuilt only when the node/edge counts changed (the graph is
+        append-only, so those two counts pin the wiring)."""
+        structure_key = (self.num_nodes, self.num_edges)
+        if self._csr_structure is None or self._csr_structure[0] != structure_key:
+            n = self.num_nodes
+            degrees = np.fromiter(
+                (len(adj) for adj in self._adjacency), dtype=np.int64, count=n
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            total = int(indptr[-1])
+            indices = np.fromiter(
+                (nbr for adj in self._adjacency for nbr, _ in adj),
+                dtype=np.int64,
+                count=total,
+            )
+            edge_ids = np.fromiter(
+                (eid for adj in self._adjacency for _, eid in adj),
+                dtype=np.int64,
+                count=total,
+            )
+            for arr in (indptr, indices, edge_ids):
+                arr.setflags(write=False)
+            self._csr_structure = (structure_key, indptr, indices, edge_ids)
+        _, indptr, indices, edge_ids = self._csr_structure
+        return indptr, indices, edge_ids
+
+    def csr_adjacency(
+        self, convention: BandwidthConvention = BandwidthConvention.AVAILABLE
+    ) -> CSRAdjacency:
+        """Cached CSR adjacency export (see :class:`CSRAdjacency`).
+
+        Keyed on the topology :attr:`version`, so any mutation made
+        through the versioned API (including PR 1's dirty-edge journal
+        writers) invalidates the costed view for free; the structure
+        arrays survive pure link-state changes. Cache traffic is
+        reported on the ``topology.csr_cache_hits`` / ``_misses``
+        counters.
+        """
+        from repro.obs import get_registry
+
+        cached = self._csr_cache.get(convention)
+        if cached is not None and cached.version == self._version:
+            get_registry().counter("topology.csr_cache_hits").inc()
+            return cached
+        get_registry().counter("topology.csr_cache_misses").inc()
+
+        indptr, indices, edge_ids = self._ensure_csr_structure()
+
+        with np.errstate(divide="ignore"):
+            edge_costs = 1.0 / self._effective_bandwidths_cached(convention)
+        edge_costs.setflags(write=False)
+        csr = CSRAdjacency(
+            version=self._version,
+            indptr=indptr,
+            indices=indices,
+            edge_ids=edge_ids,
+            edge_costs=edge_costs,
+        )
+        self._csr_cache[convention] = csr
+        return csr
+
+    # -- bulk array import/export ---------------------------------------------------
+    def to_arrays(self) -> TopologyArrays:
+        """Export the full graph state as :class:`TopologyArrays`."""
+        us, vs = self.edge_endpoint_arrays()
+        indptr, indices, edge_ids = self._ensure_csr_structure()
+        return TopologyArrays(
+            name=self.name,
+            num_nodes=self.num_nodes,
+            node_names=tuple(n.name for n in self._nodes),
+            node_kinds=tuple(n.kind.value for n in self._nodes),
+            node_pods=np.array(
+                [-1 if n.pod is None else n.pod for n in self._nodes], dtype=np.int64
+            ),
+            us=us,
+            vs=vs,
+            capacity_mbps=np.array([l.capacity_mbps for l in self._links]),
+            utilization=np.array([l.utilization for l in self._links]),
+            latency_ms=np.array([l.latency_ms for l in self._links]),
+            csr_indptr=indptr,
+            csr_indices=indices,
+            csr_edge_ids=edge_ids,
+        )
+
+    @classmethod
+    def from_arrays(cls, arrays: TopologyArrays) -> "Topology":
+        """Materialize a fresh topology from :class:`TopologyArrays`.
+
+        Bulk construction: one journal entry instead of one per
+        ``add_node``/``add_edge`` call, no per-edge duplicate checks
+        (the arrays came from a validated topology). Each call returns
+        an independent, freely mutable graph.
+        """
+        topo = cls(name=arrays.name)
+        topo._nodes = [
+            Node(
+                node_id=i,
+                name=arrays.node_names[i],
+                kind=NodeKind(arrays.node_kinds[i]),
+                pod=None if arrays.node_pods[i] < 0 else int(arrays.node_pods[i]),
+            )
+            for i in range(arrays.num_nodes)
+        ]
+        caps = arrays.capacity_mbps.tolist()
+        utils = arrays.utilization.tolist()
+        lats = arrays.latency_ms.tolist()
+        m = len(caps)
+        endpoints = list(
+            zip(
+                np.minimum(arrays.us, arrays.vs).tolist(),
+                np.maximum(arrays.us, arrays.vs).tolist(),
+            )
+        )
+        edge_index = dict(zip(endpoints, range(m)))
+        # Link objects and adjacency lists are deferred: the properties
+        # materialize them on first access, and sweep workers running
+        # the CSR kernel never need either.
+        topo._lazy_links = (caps, utils, lats)
+        topo._endpoints = endpoints
+        topo._edge_index = edge_index
+        if arrays.csr_indptr is not None:
+            # The exporter shipped the CSR wiring: prefill the structure
+            # cache and back the deferred adjacency with it.
+            for arr in (arrays.csr_indptr, arrays.csr_indices, arrays.csr_edge_ids):
+                arr.setflags(write=False)
+            topo._csr_structure = (
+                (arrays.num_nodes, m),
+                arrays.csr_indptr,
+                arrays.csr_indices,
+                arrays.csr_edge_ids,
+            )
+            topo._lazy_adjacency = (
+                arrays.csr_indptr,
+                arrays.csr_indices,
+                arrays.csr_edge_ids,
+            )
+        else:
+            adjacency: List[List[Tuple[int, int]]] = [
+                [] for _ in range(arrays.num_nodes)
+            ]
+            us, vs = arrays.us.tolist(), arrays.vs.tolist()
+            for eid in range(m):
+                adjacency[us[eid]].append((vs[eid], eid))
+                adjacency[vs[eid]].append((us[eid], eid))
+            topo._adjacency = adjacency
+        topo._bump(None)
+        topo._link_state_cache = (
+            topo._version,
+            arrays.capacity_mbps.astype(float, copy=True),
+            arrays.utilization.astype(float, copy=True),
+        )
+        return topo
 
     # -- structure checks --------------------------------------------------------------
     def is_connected(self) -> bool:

@@ -70,6 +70,18 @@ class Link:
         if self.latency_ms < 0:
             raise TopologyError(f"link latency must be non-negative, got {self.latency_ms}")
 
+    @classmethod
+    def trusted(
+        cls, capacity_mbps: float, utilization: float, latency_ms: float
+    ) -> "Link":
+        """Construct without re-validating — for bulk materialization
+        from arrays that were exported from an already-valid topology."""
+        link = object.__new__(cls)
+        link.capacity_mbps = capacity_mbps
+        link.utilization = utilization
+        link.latency_ms = latency_ms
+        return link
+
     @property
     def available_mbps(self) -> float:
         """Headroom bandwidth: ``capacity * (1 - utilization)``."""

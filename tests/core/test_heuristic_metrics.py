@@ -164,6 +164,50 @@ class TestAlgorithmOne:
             assert heuristic.total_offloaded <= ilp.total_offloaded + 1e-9
 
 
+class TestHfrEdgeCases:
+    """Eq. 4 at its degenerate corners: defined, bounded, NaN-free."""
+
+    def test_no_busy_nodes_reports_zero(self):
+        # Nothing required -> HFR is 0 by definition, not 0/0.
+        assert hfr_pct([], []) == 0.0
+        topo = build_star(2)
+        for link in topo.links:
+            link.utilization = 0.5
+        report = solve_heuristic(
+            PlacementProblem(
+                topology=topo,
+                busy=(),
+                candidates=(1, 2),
+                cs=np.array([]),
+                cd=np.array([6.0, 20.0]),
+                data_mb=np.array([]),
+            )
+        )
+        assert report.hfr_pct == 0.0
+        assert np.isfinite(report.hfr_pct)
+
+    def test_zero_total_capacity_reports_exactly_100(self):
+        # Every percent of required load fails -> HFR is exactly 100.
+        assert hfr_pct([4.0, 4.0], [4.0, 4.0]) == 100.0
+        report = solve_heuristic(star_problem(neighbor_cd=(0.0, 0.0)))
+        assert report.hfr_pct == 100.0
+        assert report.total_offloaded == 0.0
+
+    def test_hfr_is_nan_free_on_zero_denominators(self):
+        # All-zero required (busy nodes present but nothing to move)
+        # must short-circuit before the division.
+        assert hfr_pct([0.0, 0.0], [0.0, 0.0]) == 0.0
+        report = solve_heuristic(star_problem(cs=0.0))
+        for value in (
+            report.hfr_pct,
+            report.total_offloaded,
+            report.total_failed,
+            report.total_required,
+        ):
+            assert np.isfinite(value)
+        assert report.hfr_pct == 0.0
+
+
 class TestMetrics:
     def test_hfr_pct(self):
         assert hfr_pct([2.0, 0.0], [4.0, 4.0]) == pytest.approx(25.0)

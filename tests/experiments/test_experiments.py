@@ -138,3 +138,38 @@ class TestCli:
 
         assert main(["table1"]) == 0
         assert "Notation" in capsys.readouterr().out
+
+
+def _square_point(payload):
+    """Module-level (picklable) sweep point for TestShardedSweep."""
+    from repro.obs import get_registry
+
+    get_registry().counter("test.sweep.points").inc()
+    return payload["x"] ** 2
+
+
+class TestShardedSweep:
+    def test_results_come_back_in_payload_order(self):
+        from repro.experiments.common import run_sharded_sweep
+
+        payloads = [{"x": x} for x in range(6)]
+        assert run_sharded_sweep(_square_point, payloads, workers=2) == [
+            0, 1, 4, 9, 16, 25,
+        ]
+
+    def test_single_worker_takes_the_serial_path(self):
+        from repro.experiments.common import run_sharded_sweep
+
+        assert run_sharded_sweep(_square_point, [{"x": 3}], workers=1) == [9]
+
+    def test_worker_metric_deltas_merge_into_parent(self):
+        from repro.experiments.common import run_sharded_sweep
+        from repro.obs import get_registry
+
+        counter = get_registry().counter("test.sweep.points")
+        before = counter.value
+        payloads = [{"x": x} for x in range(4)]
+        run_sharded_sweep(_square_point, payloads, workers=2)
+        # One increment per point, whether it ran in a pool worker
+        # (delta merged back) or on the serial fallback.
+        assert counter.value == before + len(payloads)
