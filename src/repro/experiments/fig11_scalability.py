@@ -22,11 +22,17 @@ from repro.core.metrics import fit_power_law
 from repro.core.placement import PlacementEngine, PlacementProblem, PlacementSession
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
-from repro.experiments.common import ExperimentResult, IterationSampler, run_sharded_sweep
+from repro.experiments.common import (
+    ExperimentResult,
+    IterationSampler,
+    publish_topology_arrays,
+    resolve_topology_arrays,
+    run_sharded_sweep,
+)
 from repro.routing import TrminEngine
 from repro.routing.response_time import PathEngine, ResponseTimeModel
 from repro.topology.fattree import build_fat_tree, fat_tree_arrays
-from repro.topology.graph import Topology, TopologyArrays
+from repro.topology.graph import ShmTopologyHandle, Topology, TopologyArrays
 
 #: (k, iterations, run_ilp, ilp_max_hops): the ILP column is produced for
 #: sizes where the paper itself still ran the optimization; the paper
@@ -35,6 +41,7 @@ DEFAULT_SCALES: Tuple[Tuple[int, int, bool, Optional[int]], ...] = (
     (4, 20, True, None),
     (8, 8, True, 5),
     (16, 3, True, 4),
+    (32, 2, False, None),
     (64, 1, False, None),
 )
 
@@ -46,7 +53,7 @@ def scalability_point(
     ilp_max_hops: Optional[int],
     seed: int = 0,
     policy: Optional[ThresholdPolicy] = None,
-    arrays: Optional[TopologyArrays] = None,
+    arrays: "Optional[TopologyArrays | ShmTopologyHandle]" = None,
 ) -> Tuple[float, float, float]:
     """(mean HFR %, mean ILP seconds, mean heuristic seconds) at size k.
 
@@ -56,11 +63,13 @@ def scalability_point(
     more generous candidate thresholds one-hop capacity stops being
     scarce at scale and HFR collapses to zero instead.
 
-    ``arrays`` is the sharded-sweep path (see fig12): the iteration
+    ``arrays`` is the sharded-sweep path (see fig12): plain arrays or a
+    shared-memory handle a worker attaches zero-copy. The iteration
     stream depends only on ``seed``, so per-seed HFR values are
     identical whether this point runs inline or on a pool worker.
     """
     policy = policy or ThresholdPolicy(c_max=80.0, co_max=35.0, x_min=10.0)
+    arrays = resolve_topology_arrays(arrays)
     topology = Topology.from_arrays(arrays) if arrays is not None else build_fat_tree(k)
     sampler = IterationSampler(topology, x_min=policy.x_min, seed=seed)
     ilp_session = PlacementSession(
@@ -71,7 +80,9 @@ def scalability_point(
             with_routes=False,
         )
     )
-    heuristic_trmin = TrminEngine(ResponseTimeModel(engine=PathEngine.DP))
+    heuristic_trmin = TrminEngine(
+        ResponseTimeModel(engine=PathEngine.DP), mode="matrix"
+    )
     hfrs, ilp_times, heuristic_times = [], [], []
     for _, capacities in sampler.states(iterations):
         roles = classify_network(capacities, policy)
@@ -119,9 +130,15 @@ def run(
     """Regenerate Fig. 11a (HFR vs size) and 11b (ILP time vs size).
 
     Scale points shard over the worker pool: one blueprint build per k,
-    shipped to workers as plain arrays (see :func:`scalability_point`).
+    published into a shared-memory arena, and shipped to workers as a
+    ~100-byte handle (see :func:`scalability_point`) — dispatch size no
+    longer grows with the fabric.
     """
     start = time.perf_counter()
+    handles = {
+        k: publish_topology_arrays(fat_tree_arrays(k))
+        for k in sorted({k for k, _, _, _ in scales})
+    }
     payloads = [
         {
             "k": k,
@@ -129,11 +146,17 @@ def run(
             "run_ilp": run_ilp,
             "ilp_max_hops": ilp_hops,
             "seed": seed,
-            "arrays": fat_tree_arrays(k),
+            "arrays": handles[k],
         }
         for k, iterations, run_ilp, ilp_hops in scales
     ]
-    points = run_sharded_sweep(_sweep_point, payloads, workers=workers)
+    try:
+        points = run_sharded_sweep(
+            _sweep_point, payloads, workers=workers, arenas=tuple(handles.values())
+        )
+    finally:
+        for handle in handles.values():
+            handle.unlink()
     rows = []
     sizes, hfr_series = [], []
     for (k, iterations, run_ilp, ilp_hops), (hfr, ilp_s, _) in zip(scales, points):

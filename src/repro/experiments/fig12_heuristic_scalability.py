@@ -20,12 +20,18 @@ from repro.core.heuristic import solve_heuristic
 from repro.core.placement import PlacementProblem
 from repro.core.roles import classify_network
 from repro.core.thresholds import ThresholdPolicy
-from repro.experiments.common import ExperimentResult, IterationSampler, run_sharded_sweep
+from repro.experiments.common import (
+    ExperimentResult,
+    IterationSampler,
+    publish_topology_arrays,
+    resolve_topology_arrays,
+    run_sharded_sweep,
+)
 from repro.routing import PathEngine, ResponseTimeModel, TrminEngine
 from repro.topology.fattree import build_fat_tree, fat_tree_arrays
-from repro.topology.graph import Topology, TopologyArrays
+from repro.topology.graph import ShmTopologyHandle, Topology, TopologyArrays
 
-DEFAULT_SCALES: Tuple[Tuple[int, int], ...] = ((4, 10), (8, 5), (16, 3), (64, 1))
+DEFAULT_SCALES: Tuple[Tuple[int, int], ...] = ((4, 10), (8, 5), (16, 3), (32, 2), (64, 1))
 
 
 def heuristic_time_at_scale(
@@ -33,22 +39,25 @@ def heuristic_time_at_scale(
     iterations: int,
     seed: int = 0,
     policy: Optional[ThresholdPolicy] = None,
-    arrays: Optional[TopologyArrays] = None,
+    arrays: "Optional[TopologyArrays | ShmTopologyHandle]" = None,
 ) -> Tuple[float, float, int]:
     """(mean heuristic seconds, mean HFR %, busy count of last state).
 
     ``arrays`` is the sharded-sweep path: a pool worker receives the
-    fat-tree as a plain-array blueprint and materializes its own
-    mutable topology, instead of unpickling a ``Topology`` object
-    graph. The iteration stream depends only on ``seed``, so the
-    sharded and serial runs sample identical network states.
+    fat-tree as a plain-array blueprint (or a shared-memory handle it
+    attaches zero-copy) and materializes its own mutable topology,
+    instead of unpickling a ``Topology`` object graph. The iteration
+    stream depends only on ``seed``, so the sharded and serial runs
+    sample identical network states.
     """
     policy = policy or ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
+    arrays = resolve_topology_arrays(arrays)
     topology = Topology.from_arrays(arrays) if arrays is not None else build_fat_tree(k)
     sampler = IterationSampler(topology, x_min=policy.x_min, seed=seed)
     # Shared across iterations at this scale so lane pricing reuses the
-    # version-cached Trmin matrices instead of re-deriving them per state.
-    trmin = TrminEngine(ResponseTimeModel(engine=PathEngine.DP))
+    # version-cached Trmin matrices instead of re-deriving them per
+    # state; matrix mode prices all busy sources in one DP plane.
+    trmin = TrminEngine(ResponseTimeModel(engine=PathEngine.DP), mode="matrix")
     times, hfrs, busy_count = [], [], 0
     for _, capacities in sampler.states(iterations):
         roles = classify_network(capacities, policy)
@@ -92,15 +101,26 @@ def run(
     """Regenerate Fig. 12's heuristic-runtime-vs-size series.
 
     Scale points are independent, so they shard over the worker pool:
-    each fat-tree is built once per k (the blueprint LRU) and shipped
-    to workers as plain arrays.
+    each fat-tree is built once per k (the blueprint LRU), published
+    into a shared-memory arena, and shipped to workers as a ~100-byte
+    handle — dispatch size no longer grows with the fabric.
     """
     start = time.perf_counter()
+    handles = {
+        k: publish_topology_arrays(fat_tree_arrays(k))
+        for k in sorted({k for k, _ in scales})
+    }
     payloads = [
-        {"k": k, "iterations": iterations, "seed": seed, "arrays": fat_tree_arrays(k)}
+        {"k": k, "iterations": iterations, "seed": seed, "arrays": handles[k]}
         for k, iterations in scales
     ]
-    points = run_sharded_sweep(_sweep_point, payloads, workers=workers)
+    try:
+        points = run_sharded_sweep(
+            _sweep_point, payloads, workers=workers, arenas=tuple(handles.values())
+        )
+    finally:
+        for handle in handles.values():
+            handle.unlink()
     rows = []
     times = []
     for (k, iterations), (mean_s, hfr, busy) in zip(scales, points):

@@ -63,7 +63,13 @@ _register(ExperimentEntry(
 _register(ExperimentEntry(
     "fig10", "ILP computation time vs max-hop (large scale, 8-k/16-k)",
     fig10_maxhop_largescale.run,
-    {"iterations_8k": 2, "iterations_16k": 1, "hops_8k": (2, 3, 4), "hops_16k": (2, 3)},
+    {
+        "iterations_8k": 2,
+        "iterations_16k": 1,
+        "hops_8k": (2, 3, 4),
+        "hops_16k": (2, 3),
+        "hops_32k": (),
+    },
 ))
 _register(ExperimentEntry(
     "fig11", "Scalability: HFR and ILP time vs network size",

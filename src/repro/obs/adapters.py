@@ -47,6 +47,7 @@ ENGINE_STATS_MIRROR: Dict[str, str] = {
     "incremental_updates": "trmin.incremental_updates",
     "pairs_repriced": "trmin.pairs_repriced",
     "gate_fallbacks": "trmin.gate_fallbacks",
+    "matrix_computes": "trmin.matrix_computes",
 }
 
 #: ManagerCounters field -> catalog name. The four transport/network

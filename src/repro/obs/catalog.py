@@ -24,6 +24,7 @@ transport  reliable-delivery layer (:mod:`repro.core.messages`)
 failover   snapshot/standby machinery (:mod:`repro.core.failover`)
 chaos      chaos harness (:mod:`repro.simulation.chaos`)
 topology   CSR adjacency cache (:mod:`repro.topology.graph`)
+parallel   worker pools + shared-memory arenas (:mod:`repro.parallel`)
 ========== ==========================================================
 
 :data:`COUNTER_ALIASES` maps the legacy, pre-catalog key spellings that
@@ -64,6 +65,8 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "Individual (source, destination) pairs re-priced incrementally"),
     ("counter", "trmin.gate_fallbacks", "count", "repro.routing.engine",
      "Incremental repairs abandoned by the dp cost gate"),
+    ("counter", "trmin.matrix_computes", "count", "repro.routing.engine",
+     "All-sources pricings answered by the matrix DP kernel"),
     ("histogram", "trmin.price_seconds", "seconds", "repro.routing.engine",
      "Wall time of one resistance_matrix call"),
     # -- lp: solver backends --------------------------------------------------------
@@ -214,6 +217,15 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "csr_adjacency calls answered by the version-keyed cache"),
     ("counter", "topology.csr_cache_misses", "count", "repro.topology.graph",
      "csr_adjacency rebuilds after a topology version change"),
+    # -- parallel: worker pools + shared-memory arenas -------------------------------
+    ("counter", "parallel.shm_creates", "count", "repro.parallel",
+     "Shared-memory arenas created (segments packed and published)"),
+    ("counter", "parallel.shm_attaches", "count", "repro.parallel",
+     "Zero-copy attaches to an existing arena by a fresh process"),
+    ("counter", "parallel.shm_unlinks", "count", "repro.parallel",
+     "Arena segment names removed from the shared-memory filesystem"),
+    ("counter", "parallel.shm_bytes_shared", "bytes", "repro.parallel",
+     "Total bytes packed into created arena segments"),
 ]
 
 #: Legacy / shorthand counter keys -> catalog names. Applied to report

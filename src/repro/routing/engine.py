@@ -84,6 +84,9 @@ class EngineStats:
     #: Incremental repairs abandoned by the dp cost gate because the
     #: dirty set made repair at least as expensive as a full recompute.
     gate_fallbacks: int = 0
+    #: All-sources pricings answered by the matrix DP kernel
+    #: (``mode="matrix"``, dp model).
+    matrix_computes: int = 0
 
 
 @dataclass
@@ -206,6 +209,14 @@ class TrminEngine:
         dominate.
     executor_kind:
         ``"process"`` (default) or ``"thread"``.
+    mode:
+        ``"rows"`` (default) prices source rows independently (serial
+        or pool-chunked). ``"matrix"`` answers dp-model pricings with
+        one all-sources hop-layered DP over the cached CSR
+        (:func:`repro.routing.matrix.matrix_hop_constrained`) — no
+        per-source Python loop, no pool — and is bit-identical in
+        ``(R, hops)``. Enumeration-model pricings ignore the mode (the
+        matrix kernel is a DP).
 
     Attributes
     ----------
@@ -228,13 +239,17 @@ class TrminEngine:
         dirty_fraction_threshold: float = 0.25,
         min_parallel_pairs: int = 32,
         executor_kind: str = "process",
+        mode: str = "rows",
     ) -> None:
+        if mode not in ("rows", "matrix"):
+            raise ValueError(f"mode must be 'rows' or 'matrix', got {mode!r}")
         self.model = model if model is not None else ResponseTimeModel()
         self.workers = workers
         self.cache_enabled = cache
         self.dirty_fraction_threshold = dirty_fraction_threshold
         self.min_parallel_pairs = min_parallel_pairs
         self.executor_kind = executor_kind
+        self.mode = mode
         self._cache = TrminCache(max_entries=max_cache_entries)
         self.stats = EngineStats()
 
@@ -318,6 +333,8 @@ class TrminEngine:
         destinations: Tuple[int, ...],
         with_paths: bool,
     ) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+        if self.mode == "matrix" and model.engine is PathEngine.DP:
+            return self._compute_matrix(model, topology, sources, destinations, with_paths)
         workers = resolve_workers(self.workers, task_count=len(sources))
         pairs = len(sources) * len(destinations)
         if workers <= 1 or len(sources) < 2 or pairs < self.min_parallel_pairs:
@@ -346,6 +363,42 @@ class TrminEngine:
         paths: Dict[Pair, Path] = {}
         for _, _, chunk_paths in results:
             paths.update(chunk_paths)
+        return R, hops, paths
+
+    def _compute_matrix(
+        self,
+        model: ResponseTimeModel,
+        topology: Topology,
+        sources: Tuple[int, ...],
+        destinations: Tuple[int, ...],
+        with_paths: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Pair, Path]]:
+        """One all-sources matrix DP instead of per-source row solves.
+
+        ``(R, hops)`` are bit-identical to the per-source sweep (see
+        :mod:`repro.routing.matrix` for the operand-set argument);
+        materialized paths are optimal and price-consistent but may
+        pick different tie-equivalent routes.
+        """
+        from repro.routing.matrix import matrix_hop_constrained
+
+        weights = model.edge_weights(topology)
+        result = matrix_hop_constrained(
+            topology, sources, model.max_hops, weights, with_parents=with_paths
+        )
+        dest_arr = np.asarray(destinations, dtype=int)
+        R = result.best[:, dest_arr]
+        hops = np.where(np.isfinite(R), result.hops[:, dest_arr], -1)
+        paths: Dict[Pair, Path] = {}
+        if with_paths:
+            for a, s in enumerate(sources):
+                row = R[a]
+                for b, d in enumerate(destinations):
+                    if np.isfinite(row[b]):
+                        path = result.path_to(a, int(d))
+                        if path is not None:
+                            paths[(int(s), int(d))] = path
+        self.stats.matrix_computes += 1
         return R, hops, paths
 
     # -- cache layer ------------------------------------------------------------------

@@ -1,0 +1,284 @@
+"""All-sources hop-constrained DP over the CSR adjacency (the matrix
+Trmin kernel).
+
+One hop-layered Bellman–Ford relaxation carries a whole
+``(num_nodes, num_sources)`` distance plane per layer instead of one
+row per :func:`~repro.routing.shortest.hop_constrained_shortest` call.
+A layer is a segmented min over each node's CSR lanes; rather than
+``np.minimum.reduceat`` (whose generic segment loop profiles ~5×
+slower here), the segments are realized as dense *degree-class* blocks:
+CSR rows of equal degree ``d`` stack into a ``(count, d)`` lane table,
+so one layer per class is a contiguous row-gather
+``dist[nbr_table]`` (+ the lane weights) reshaped to
+``(count, d, S)`` and min-reduced along the lane axis — pure
+contiguous numpy kernels, no scatter, no per-segment loop. Fat-trees
+have ≤ 2 distinct degrees, so a layer is ~2 fused gather+reduce calls
+for *all* sources at once. The distance planes are kept
+node-major (``(n, S)``) precisely so those gathers copy whole rows
+(memcpy) instead of striding columns. The Python loop runs over
+layers (≤ hop budget, early exit at convergence) and degree classes,
+never over sources or edges.
+
+Bit-identity with the per-source DP is by construction, not tolerance:
+for every ``(source, node)`` cell a layer takes the IEEE minimum over
+*exactly* the same operand set the per-source scatter formulation
+produces (``prev[u] + w_e`` per incident lane, plus the carry
+``prev[v]``), and a minimum over one operand set is
+evaluation-order-independent for floats without NaNs (weights are
+validated strictly positive). Distances accumulate as the same
+left-fold along the same layer sequence, so ``best``/``hops`` match
+:func:`hop_constrained_shortest` bit for bit — the property suite
+asserts exact equality.
+
+Predecessor planes are optional (``with_parents=True``): per layer the
+kernel recovers one witness lane per improved cell (the last lane
+achieving the new minimum, mirroring the per-source recovery's
+later-writes-win), and :meth:`MatrixDPResult.path_to` replays the
+per-source reconstruction walk over the stored planes. Witness
+*choice* among ties may differ from the per-source engine's (lane
+order differs from its candidate order), so materialized paths are
+guaranteed optimal and price-consistent, not identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.routes import Path
+from repro.topology.graph import Topology
+
+#: Soft cap on the per-layer gather temporary (elements of the
+#: ``(lanes, block)`` plane); source blocks are sized to stay under it.
+_GATHER_BUDGET = 8_000_000
+
+
+@dataclass(frozen=True)
+class MatrixDPResult:
+    """All-sources result of the matrix DP.
+
+    ``best[a, v]`` is the minimum hop-bounded path weight from
+    ``sources[a]`` to ``v`` (``inf`` if unreachable in budget) and
+    ``hops[a, v]`` the fewest hops achieving it (``-1`` unreachable).
+    When parents were kept, ``layer_dist``/``parent_node``/
+    ``parent_edge`` hold one node-major ``(n, S)`` plane per relaxation
+    layer (truncated at convergence — later layers are identical), and
+    :meth:`path_to` reconstructs optimal routes from them.
+    """
+
+    sources: Tuple[int, ...]
+    max_hops: int
+    best: np.ndarray
+    hops: np.ndarray
+    layer_dist: Optional[List[np.ndarray]] = None
+    parent_node: Optional[List[np.ndarray]] = None
+    parent_edge: Optional[List[np.ndarray]] = None
+
+    def path_to(self, source_index: int, destination: int) -> Optional[Path]:
+        """One optimal (weight-minimal, then hop-minimal) path from
+        ``sources[source_index]`` to ``destination``; ``None`` when
+        unreachable within the hop budget."""
+        if self.layer_dist is None:
+            raise RoutingError(
+                "matrix DP ran without parents; pass with_parents=True "
+                "to materialize paths"
+            )
+        a = source_index
+        h = int(self.hops[a, destination])
+        if h < 0:
+            return None
+        source = self.sources[a]
+        nodes: List[int] = [destination]
+        edges: List[int] = []
+        v = destination
+        while v != source or h > 0:
+            if h > 0 and self.layer_dist[h][v, a] < self.layer_dist[h - 1][v, a]:
+                u = int(self.parent_node[h][v, a])
+                e = int(self.parent_edge[h][v, a])
+                edges.append(e)
+                nodes.append(u)
+                v = u
+                h -= 1
+            else:
+                h -= 1
+                if h < 0:  # pragma: no cover - DP invariant guards this
+                    raise RoutingError("path reconstruction walked past layer 0")
+        nodes.reverse()
+        edges.reverse()
+        return Path(nodes=tuple(nodes), edges=tuple(edges))
+
+
+def _validate(
+    topology: Topology, max_hops: Optional[int], edge_weights: np.ndarray
+) -> Tuple[np.ndarray, int]:
+    """Shared input validation, byte-compatible with the per-source DP
+    (same checks, same messages) so rejection behavior is identical."""
+    m = topology.num_edges
+    weights = np.asarray(edge_weights, dtype=float)
+    if weights.shape != (m,):
+        raise RoutingError(f"expected {m} edge weights, got shape {weights.shape}")
+    if m and weights.min() <= 0:
+        raise RoutingError("edge weights must be strictly positive")
+    if max_hops is None:
+        max_hops = max(topology.num_nodes - 1, 0)
+    if max_hops < 0:
+        raise RoutingError(f"max_hops must be non-negative, got {max_hops}")
+    return weights, int(max_hops)
+
+
+def _degree_classes(
+    topology: Topology,
+) -> Tuple[np.ndarray, np.ndarray, List[Tuple[np.ndarray, np.ndarray]]]:
+    """CSR wiring regrouped into dense degree-class blocks.
+
+    Returns ``(indices, edge_ids, classes)`` where each class entry is
+    ``(nodes_d, lane_table)``: the node ids sharing degree ``d`` and
+    their ``(len(nodes_d), d)`` table of CSR lane offsets. Zero-degree
+    nodes form no class (their distance row can only hold the source's
+    own 0.0)."""
+    indptr, indices, edge_ids = topology.csr_structure()
+    degrees = np.diff(indptr)
+    classes: List[Tuple[np.ndarray, np.ndarray]] = []
+    for d in np.unique(degrees):
+        d = int(d)
+        if d == 0:
+            continue
+        nodes_d = np.flatnonzero(degrees == d)
+        lane_table = indptr[nodes_d][:, None] + np.arange(d)[None, :]
+        classes.append((nodes_d, lane_table))
+    return indices, edge_ids, classes
+
+
+def matrix_hop_constrained(
+    topology: Topology,
+    sources: Sequence[int],
+    max_hops: Optional[int],
+    edge_weights: np.ndarray,
+    with_parents: bool = False,
+    source_block: Optional[int] = None,
+) -> MatrixDPResult:
+    """Relax all ``sources`` simultaneously over the cached CSR wiring.
+
+    Without parents, sources are processed in blocks sized so the
+    per-layer ``(lanes, block)`` gather stays within a fixed element
+    budget (``source_block`` overrides); block boundaries cannot change
+    any result — source columns are independent. With parents the whole
+    source set runs as one block, since the reconstruction planes span
+    all sources per layer anyway.
+    """
+    weights, H = _validate(topology, max_hops, edge_weights)
+    n = topology.num_nodes
+    src = [int(s) for s in sources]
+    for s in src:
+        topology.node(s)
+    S = len(src)
+
+    # Node-major working planes: dist[v, a] = best weight source a -> v.
+    dist = np.full((n, S), np.inf)
+    hops = np.full((n, S), -1, dtype=np.int64)
+    if S:
+        dist[src, np.arange(S)] = 0.0
+        hops[src, np.arange(S)] = 0
+
+    def _export(
+        layer_dist: Optional[List[np.ndarray]],
+        parent_node: Optional[List[np.ndarray]],
+        parent_edge: Optional[List[np.ndarray]],
+    ) -> MatrixDPResult:
+        return MatrixDPResult(
+            sources=tuple(src),
+            max_hops=H,
+            best=np.ascontiguousarray(dist.T),
+            hops=np.ascontiguousarray(hops.T),
+            layer_dist=layer_dist,
+            parent_node=parent_node,
+            parent_edge=parent_edge,
+        )
+
+    if topology.num_edges == 0 or H == 0 or S == 0:
+        if with_parents:
+            minus_one = np.full((n, S), -1, dtype=np.int64)
+            return _export([dist.copy()], [minus_one], [minus_one.copy()])
+        return _export(None, None, None)
+
+    indices, edge_ids, classes = _degree_classes(topology)
+    lanes = indices.size  # == 2 * num_edges (both directions)
+    lane_w = weights[edge_ids]
+    # Per-class gather tables: neighbor ids and lane weights, shaped
+    # (count, d) to match the lane tables.
+    gather = [
+        (nodes_d, indices[lane_table], lane_w[lane_table], lane_table)
+        for nodes_d, lane_table in classes
+    ]
+
+    if with_parents:
+        col_blocks = [np.arange(S)]
+    elif source_block is not None:
+        step = int(source_block)
+        col_blocks = [np.arange(i, min(i + step, S)) for i in range(0, S, step)]
+    else:
+        step = max(1, _GATHER_BUDGET // max(lanes, 1))
+        col_blocks = [np.arange(i, min(i + step, S)) for i in range(0, S, step)]
+
+    layer_dist: Optional[List[np.ndarray]] = None
+    parent_node: Optional[List[np.ndarray]] = None
+    parent_edge: Optional[List[np.ndarray]] = None
+    if with_parents:
+        layer_dist = [dist.copy()]
+        parent_node = [np.full((n, S), -1, dtype=np.int64)]
+        parent_edge = [np.full((n, S), -1, dtype=np.int64)]
+
+    for cols in col_blocks:
+        prev = dist[:, cols] if len(col_blocks) > 1 else dist
+        block_hops = hops[:, cols] if len(col_blocks) > 1 else hops
+        for h in range(1, H + 1):
+            new = prev.copy()
+            improved_any = False
+            for nodes_d, nbr_d, w_d, lane_table in gather:
+                cd, d = nbr_d.shape
+                # (cd, d, B): weight of reaching each class node through
+                # each of its lanes; min over the lane axis is the
+                # segmented CSR minimum, as one contiguous reduction.
+                cand = prev[nbr_d.ravel()].reshape(cd, d, -1) + w_d[:, :, None]
+                seg_min = cand.min(axis=1)
+                cur = prev[nodes_d]
+                upd = np.minimum(cur, seg_min)
+                cls_improved = upd < cur
+                if not cls_improved.any():
+                    continue
+                improved_any = True
+                new[nodes_d] = upd
+                block_hops[nodes_d] = np.where(
+                    cls_improved, h, block_hops[nodes_d]
+                )
+                if with_parents:
+                    # Witness per improved cell: the last lane achieving
+                    # the new minimum (mirrors the per-source recovery's
+                    # later-writes-win; any witness achieves the min).
+                    if len(parent_node) <= h:
+                        parent_node.append(np.full((n, S), -1, dtype=np.int64))
+                        parent_edge.append(np.full((n, S), -1, dtype=np.int64))
+                    pos = np.arange(1, d + 1, dtype=np.int64)
+                    win = np.where(
+                        cand <= upd[:, None, :], pos[None, :, None], 0
+                    ).max(axis=1)
+                    rows, bcols = np.nonzero(cls_improved)
+                    lane = lane_table[rows, win[rows, bcols] - 1]
+                    parent_node[h][nodes_d[rows], bcols] = indices[lane]
+                    parent_edge[h][nodes_d[rows], bcols] = edge_ids[lane]
+            if not improved_any:
+                break
+            if with_parents:
+                layer_dist.append(new.copy())
+            prev = new
+        if len(col_blocks) > 1:
+            dist[:, cols] = prev
+            hops[:, cols] = block_hops
+        else:
+            dist = prev
+            hops = block_hops
+
+    return _export(layer_dist, parent_node, parent_edge)

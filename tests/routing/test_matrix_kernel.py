@@ -1,0 +1,199 @@
+"""Bit-identity of the matrix Trmin DP kernel vs the per-source DP.
+
+The matrix kernel promises *exact* equality of ``best``/``hops`` with
+:func:`repro.routing.hop_constrained_shortest` (see the operand-set
+argument in :mod:`repro.routing.matrix`), so these tests compare with
+``np.array_equal`` — no tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import hop_constrained_shortest
+from repro.routing.engine import TrminEngine
+from repro.routing.matrix import matrix_hop_constrained
+from repro.routing.response_time import PathEngine, ResponseTimeModel
+from repro.topology import Topology, build_random_connected, build_ring
+from repro.topology.fattree import build_fat_tree
+
+
+def _assert_bit_identical(topology, sources, max_hops, weights, **kwargs):
+    result = matrix_hop_constrained(topology, sources, max_hops, weights, **kwargs)
+    for a, s in enumerate(sources):
+        ref = hop_constrained_shortest(topology, s, max_hops, weights)
+        assert np.array_equal(result.best[a], ref.best), f"source {s} best differs"
+        assert np.array_equal(result.hops[a], ref.best_hops()), f"source {s} hops differ"
+    return result
+
+
+def two_rings(n=4):
+    """Two disconnected rings — every cross-component pair is unreachable."""
+    topo = Topology()
+    for _ in range(2 * n):
+        topo.add_node()
+    for base in (0, n):
+        for i in range(n):
+            topo.add_edge(base + i, base + (i + 1) % n)
+    return topo
+
+
+class TestBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=18),
+        st.integers(min_value=0, max_value=500),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+    )
+    def test_property_random_topologies(self, n, seed, max_hops):
+        topo = build_random_connected(n, edge_probability=0.3, seed=seed)
+        rng = np.random.default_rng(seed + 11)
+        w = rng.uniform(0.1, 5.0, topo.num_edges)
+        sources = list(range(0, n, 2))
+        _assert_bit_identical(topo, sources, max_hops, w)
+
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_fat_tree_tiers(self, k):
+        topo = build_fat_tree(k)
+        rng = np.random.default_rng(k)
+        w = rng.uniform(0.01, 2.0, topo.num_edges)
+        max_hops = int(rng.integers(1, 9))
+        sources = list(rng.choice(topo.num_nodes, size=min(8, topo.num_nodes), replace=False))
+        _assert_bit_identical(topo, [int(s) for s in sources], max_hops, w)
+
+    def test_disconnected_pairs_stay_infinite(self):
+        topo = two_rings(4)
+        w = np.random.default_rng(0).uniform(0.5, 1.5, topo.num_edges)
+        result = _assert_bit_identical(topo, [0, 5], None, w)
+        # Cross-component cells specifically: inf distance, -1 hops.
+        assert np.isinf(result.best[0, 4:]).all()
+        assert (result.hops[0, 4:] == -1).all()
+        assert np.isinf(result.best[1, :4]).all()
+
+    def test_near_zero_costs(self):
+        """Tiny (but strictly positive) weights — the smallest costs the
+        validators admit — still reproduce the per-source DP exactly."""
+        topo = build_random_connected(12, 0.3, seed=42)
+        rng = np.random.default_rng(7)
+        w = rng.uniform(1e-12, 1e-9, topo.num_edges)
+        w[:: max(1, topo.num_edges // 4)] = 1.0  # mix in ordinary magnitudes
+        _assert_bit_identical(topo, list(range(12)), 5, w)
+
+    def test_source_blocking_cannot_change_results(self):
+        topo = build_random_connected(14, 0.3, seed=3)
+        w = np.random.default_rng(4).uniform(0.1, 2.0, topo.num_edges)
+        sources = list(range(14))
+        whole = matrix_hop_constrained(topo, sources, 4, w)
+        blocked = matrix_hop_constrained(topo, sources, 4, w, source_block=3)
+        assert np.array_equal(whole.best, blocked.best)
+        assert np.array_equal(whole.hops, blocked.hops)
+
+    def test_empty_sources_and_zero_budget(self):
+        topo = build_ring(5)
+        w = np.ones(5)
+        empty = matrix_hop_constrained(topo, [], 3, w)
+        assert empty.best.shape == (0, 5)
+        zero = matrix_hop_constrained(topo, [2], 0, w)
+        assert zero.best[0, 2] == 0.0
+        assert np.isinf(np.delete(zero.best[0], 2)).all()
+
+
+class TestValidationParity:
+    """The matrix kernel rejects exactly what the per-source DP rejects,
+    with the same messages."""
+
+    @pytest.mark.parametrize(
+        "weights, max_hops",
+        [
+            (np.ones(3), 2),  # wrong shape (ring of 4 has 4 edges)
+            (np.zeros(4), 2),  # non-positive weights
+            (np.ones(4), -1),  # negative hop budget
+        ],
+    )
+    def test_same_error_messages(self, weights, max_hops):
+        topo = build_ring(4)
+        with pytest.raises(RoutingError) as per_source:
+            hop_constrained_shortest(topo, 0, max_hops, weights)
+        with pytest.raises(RoutingError) as matrix:
+            matrix_hop_constrained(topo, [0], max_hops, weights)
+        assert str(matrix.value) == str(per_source.value)
+
+    def test_unknown_source_rejected(self):
+        topo = build_ring(4)
+        with pytest.raises(Exception):
+            matrix_hop_constrained(topo, [99], 2, np.ones(4))
+
+
+class TestPathMaterialization:
+    def test_paths_are_optimal_and_price_consistent(self):
+        topo = build_random_connected(16, 0.25, seed=9)
+        w = np.random.default_rng(2).uniform(0.1, 3.0, topo.num_edges)
+        sources = [0, 3, 7]
+        result = matrix_hop_constrained(topo, sources, 5, w, with_parents=True)
+        for a, s in enumerate(sources):
+            for dst in range(16):
+                path = result.path_to(a, dst)
+                if not np.isfinite(result.best[a, dst]):
+                    assert path is None
+                    continue
+                assert path.nodes[0] == s and path.nodes[-1] == dst
+                cost = sum(w[e] for e in path.edges)
+                assert cost == pytest.approx(result.best[a, dst])
+                assert len(path.edges) == result.hops[a, dst]
+                for (u, v), e in zip(zip(path.nodes, path.nodes[1:]), path.edges):
+                    assert topo.edge_id(u, v) == e
+
+    def test_path_without_parents_raises(self):
+        topo = build_ring(4)
+        result = matrix_hop_constrained(topo, [0], 2, np.ones(4))
+        with pytest.raises(RoutingError, match="with_parents"):
+            result.path_to(0, 2)
+
+
+class TestEngineMatrixMode:
+    def _dp_model(self, max_hops=4):
+        return ResponseTimeModel(engine=PathEngine.DP, max_hops=max_hops)
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            TrminEngine(mode="diagonal")
+
+    def test_matrix_mode_matches_rows_mode_exactly(self):
+        topo = build_fat_tree(4)
+        model = self._dp_model()
+        sources = [0, 2, 5, 9]
+        destinations = [1, 3, 8, 12, 19]
+        rows_engine = TrminEngine(model, cache=False)
+        matrix_engine = TrminEngine(model, cache=False, mode="matrix")
+        R_rows, hops_rows, _ = rows_engine.resistance_matrix(
+            topo, sources, destinations, with_paths=False
+        )
+        R_matrix, hops_matrix, paths = matrix_engine.resistance_matrix(
+            topo, sources, destinations, with_paths=True
+        )
+        assert np.array_equal(R_rows, R_matrix)
+        assert np.array_equal(hops_rows, hops_matrix)
+        assert matrix_engine.stats.matrix_computes == 1
+        assert rows_engine.stats.matrix_computes == 0
+        # Materialized paths cover exactly the finite pairs and price
+        # consistently (witness ties may differ from the rows engine).
+        weights = model.edge_weights(topo)
+        for a, s in enumerate(sources):
+            for b, d in enumerate(destinations):
+                if np.isfinite(R_matrix[a, b]) and s != d:
+                    path = paths[(s, d)]
+                    assert sum(weights[e] for e in path.edges) == pytest.approx(
+                        R_matrix[a, b]
+                    )
+
+    def test_enumeration_model_bypasses_matrix_path(self):
+        topo = build_fat_tree(4)
+        engine = TrminEngine(
+            ResponseTimeModel(engine=PathEngine.ENUMERATION, max_hops=3),
+            cache=False,
+            mode="matrix",
+        )
+        engine.resistance_matrix(topo, [0, 1], [2, 3], with_paths=False)
+        assert engine.stats.matrix_computes == 0

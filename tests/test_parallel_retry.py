@@ -1,11 +1,20 @@
 """Pool-death hardening in :func:`repro.parallel.map_with_pool_retry`."""
 
+import os
 from concurrent.futures import BrokenExecutor
 
+import numpy as np
 import pytest
 
 import repro.parallel as parallel
-from repro.parallel import chunk_evenly, make_executor, map_with_pool_retry
+from repro.parallel import (
+    ShmArena,
+    active_arena_segments,
+    attach_shared,
+    chunk_evenly,
+    make_executor,
+    map_with_pool_retry,
+)
 
 
 def double(x):
@@ -80,3 +89,50 @@ def test_chunk_evenly_round_trips():
     chunks = chunk_evenly(items, 3)
     assert [len(c) for c in chunks] == [4, 3, 3]
     assert [x for c in chunks for x in c] == items
+
+
+def _resolve_or_die(payload):
+    """Kills every pool worker; in the parent (the serial fallback) it
+    proves the unlinked arena still resolves through the cache."""
+    if os.getpid() != payload["parent"]:
+        os._exit(1)
+    arena = attach_shared(payload["segment"])
+    return int(arena.arrays["wiring"][payload["x"]])
+
+
+class TestBrokenPoolArenaCleanup:
+    def test_killed_worker_leaves_no_orphan_segments(self):
+        """A worker dying mid-sweep must not orphan ``/dev/shm`` names:
+        the rebuilt pool and the final serial fallback still complete
+        (the parent's mapping outlives the unlink), but the segment
+        name is gone the moment the first pool breaks."""
+        arena = ShmArena.create({"wiring": np.arange(64, dtype=np.int64)})
+        name = arena.name
+        try:
+            payloads = [
+                {"x": i, "parent": os.getpid(), "segment": name} for i in range(3)
+            ]
+            from repro.experiments.common import run_sharded_sweep
+
+            results = run_sharded_sweep(
+                _resolve_or_die, payloads, workers=2, arenas=(arena,)
+            )
+            # Serial fallback completed the sweep through the cached mapping.
+            assert results == [0, 1, 2]
+            # Broken-pool cleanup already unlinked; nothing is orphaned.
+            assert not arena.linked
+            assert name not in active_arena_segments()
+            assert name.lstrip("/") not in os.listdir("/dev/shm")
+            arena.unlink()  # the caller's own finally-unlink stays a no-op
+        finally:
+            arena.close()
+
+    def test_clean_run_leaves_arena_linked_for_the_caller(self):
+        arena = ShmArena.create({"wiring": np.arange(8, dtype=np.int64)})
+        try:
+            assert map_with_pool_retry(
+                double, [1, 2], workers=2, kind="thread", arenas=(arena,)
+            ) == [2, 4]
+            assert arena.linked  # cleanup is the caller's duty on success
+        finally:
+            arena.close()

@@ -1,0 +1,192 @@
+"""Shared-memory arena lifecycle: pack/attach, version guards, leak-freedom."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ShmArena,
+    ShmArenaError,
+    active_arena_segments,
+    attach_shared,
+)
+
+
+@pytest.fixture
+def sample_arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "floats": rng.uniform(0.0, 1.0, (7, 3)),
+        "ints": np.arange(11, dtype=np.int64),
+        "bytes": np.frombuffer(b"hello arena", dtype=np.uint8),
+    }
+
+
+class TestCreateAttach:
+    def test_round_trip_preserves_every_array(self, sample_arrays):
+        arena = ShmArena.create(sample_arrays)
+        try:
+            fresh = ShmArena.attach(arena.name)
+            assert set(fresh.arrays) == set(sample_arrays)
+            for key, original in sample_arrays.items():
+                np.testing.assert_array_equal(fresh.arrays[key], original)
+                assert fresh.arrays[key].dtype == original.dtype
+            fresh.close()
+        finally:
+            arena.close()
+
+    def test_views_are_read_only(self, sample_arrays):
+        arena = ShmArena.create(sample_arrays)
+        try:
+            with pytest.raises(ValueError):
+                arena.arrays["ints"][0] = 99
+        finally:
+            arena.close()
+
+    def test_payloads_are_64_byte_aligned(self, sample_arrays):
+        arena = ShmArena.create(sample_arrays)
+        try:
+            for view in arena.arrays.values():
+                address = view.__array_interface__["data"][0]
+                assert address % 64 == 0
+        finally:
+            arena.close()
+
+    def test_missing_segment_raises(self):
+        with pytest.raises(ShmArenaError, match="does not exist"):
+            ShmArena.attach("repro-nope-000000000000")
+
+    def test_version_mismatch_rejected(self, sample_arrays):
+        arena = ShmArena.create(sample_arrays, version=7)
+        try:
+            with pytest.raises(ShmArenaError, match="holds version 7, expected 8"):
+                ShmArena.attach(arena.name, expected_version=8)
+            ShmArena.attach(arena.name, expected_version=7).close()
+        finally:
+            arena.close()
+
+    def test_foreign_segment_rejected(self):
+        from multiprocessing import shared_memory
+
+        from repro.parallel import _raw_unlink, _tracker_unregister
+
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        _tracker_unregister(shm)
+        try:
+            shm.buf[:8] = b"NOTDUST!"
+            with pytest.raises(ShmArenaError, match="bad magic"):
+                ShmArena.attach(shm.name)
+        finally:
+            shm.close()
+            _raw_unlink(shm)
+
+
+class TestLifecycle:
+    def test_unlink_is_idempotent_and_tracked(self, sample_arrays):
+        arena = ShmArena.create(sample_arrays)
+        assert arena.name in active_arena_segments()
+        assert arena.linked
+        arena.unlink()
+        arena.unlink()  # second call is a no-op
+        assert not arena.linked
+        assert arena.name not in active_arena_segments()
+        assert arena.name not in os.listdir("/dev/shm")
+        arena.close()
+
+    def test_views_survive_unlink(self, sample_arrays):
+        """POSIX semantics: the name goes away, the mapping does not."""
+        arena = ShmArena.create(sample_arrays)
+        arena.unlink()
+        np.testing.assert_array_equal(arena.arrays["ints"], sample_arrays["ints"])
+        arena.close()
+
+    def test_attach_shared_resolves_through_cache_after_unlink(self, sample_arrays):
+        """A serial fallback (or fork-replay worker) must still resolve
+        an arena the broken-pool cleanup already unlinked."""
+        arena = ShmArena.create(sample_arrays)
+        arena.unlink()
+        try:
+            resolved = attach_shared(arena.name, expected_version=arena.version)
+            assert resolved is arena
+            with pytest.raises(ShmArenaError, match="holds version"):
+                attach_shared(arena.name, expected_version=arena.version + 1)
+        finally:
+            arena.close()
+
+    def test_close_evicts_cache_entry(self, sample_arrays):
+        arena = ShmArena.create(sample_arrays)
+        name = arena.name
+        arena.close()
+        with pytest.raises(ShmArenaError):
+            attach_shared(name)
+
+
+class TestTopologyShm:
+    def test_round_trip_preserves_blueprint(self):
+        from repro.topology.fattree import fat_tree_arrays
+        from repro.topology.graph import ShmTopologyHandle, Topology, TopologyArrays
+
+        arrays = fat_tree_arrays(4)
+        handle = arrays.to_shm()
+        try:
+            assert isinstance(handle, ShmTopologyHandle)
+            back = TopologyArrays.from_shm(handle)
+            assert back.name == arrays.name
+            assert back.num_nodes == arrays.num_nodes
+            assert back.node_names == arrays.node_names
+            assert back.node_kinds == arrays.node_kinds
+            for field in ("node_pods", "us", "vs", "capacity_mbps",
+                          "utilization", "latency_ms", "csr_indptr",
+                          "csr_indices", "csr_edge_ids"):
+                np.testing.assert_array_equal(
+                    getattr(back, field), getattr(arrays, field)
+                )
+            # The views materialize into a working topology.
+            topo = Topology.from_arrays(back)
+            assert topo.num_nodes == arrays.num_nodes
+            assert topo.num_edges == len(arrays.us)
+        finally:
+            handle.unlink()
+
+    def test_stale_handle_version_rejected(self):
+        from repro.parallel import ShmArenaError
+        from repro.topology.fattree import fat_tree_arrays
+        from repro.topology.graph import ShmTopologyHandle, TopologyArrays
+
+        arrays = fat_tree_arrays(4)
+        handle = arrays.to_shm()
+        try:
+            stale = ShmTopologyHandle(segment=handle.segment, version=handle.version + 1)
+            with pytest.raises(ShmArenaError, match="holds version"):
+                TopologyArrays.from_shm(stale)
+        finally:
+            handle.unlink()
+
+    def test_handle_unlink_is_idempotent(self):
+        from repro.topology.fattree import fat_tree_arrays
+
+        handle = fat_tree_arrays(4).to_shm()
+        handle.unlink()
+        handle.unlink()  # second unlink (e.g. after broken-pool cleanup)
+        assert handle.segment not in active_arena_segments()
+
+    def test_handle_pickles_in_constant_size(self):
+        """The dispatch payload must not scale with the fabric."""
+        from repro.topology.fattree import fat_tree_arrays
+
+        small = fat_tree_arrays(4)
+        large = fat_tree_arrays(16)
+        assert large.us.nbytes > 4 * small.us.nbytes  # fabrics really differ
+        h_small, h_large = small.to_shm(), large.to_shm()
+        try:
+            small_size = len(pickle.dumps(h_small))
+            large_size = len(pickle.dumps(h_large))
+            assert small_size < 256
+            assert large_size < 256
+            # Identical structure — only name/version digits may differ.
+            assert abs(large_size - small_size) <= 8
+        finally:
+            h_small.unlink()
+            h_large.unlink()
