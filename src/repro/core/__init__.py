@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.core.audit import AuditReport, audit_system
 from repro.core.client import DUSTClient, HostedWorkload
+from repro.core.degradation import DegradationLadder, DegradationLevel, LadderConfig
 from repro.core.failover import ManagerSnapshot, SnapshotStore, StandbyManager
 from repro.core.heuristic import (
     HeuristicReport,
@@ -47,6 +48,8 @@ from repro.core.metrics import (
     message_overhead_pct,
     placement_divergence,
     recovery_time_s,
+    relief_by_source,
+    relief_divergence,
     summarize_categories,
 )
 from repro.core.multiresource import (
@@ -97,6 +100,9 @@ __all__ = [
     "DUSTClient",
     "DUSTManager",
     "DedupCache",
+    "DegradationLadder",
+    "DegradationLevel",
+    "LadderConfig",
     "HeuristicReport",
     "HostedWorkload",
     "Keepalive",
@@ -163,6 +169,8 @@ __all__ = [
     "message_overhead_pct",
     "placement_divergence",
     "recovery_time_s",
+    "relief_by_source",
+    "relief_divergence",
     "solve_heuristic",
     "solve_heuristic_reference",
     "summarize_categories",

@@ -86,6 +86,8 @@ class DUSTClient:
         keepalive_period_s: float = 10.0,
         retry_policy: Optional[RetryPolicy] = None,
         reannounce_delay_s: float = 60.0,
+        dedup_ttl_s: Optional[float] = None,
+        transport_seed: int = 0,
     ) -> None:
         self.node_id = node_id
         self.engine = engine
@@ -111,9 +113,9 @@ class DUSTClient:
         self.duplicates_ignored = 0
         self.announce_give_ups = 0
 
-        self._dedup = DedupCache()
+        self._dedup = DedupCache(ttl_s=dedup_ttl_s, clock=lambda: engine.now)
         self._reliable: Optional[ReliableSender] = (
-            ReliableSender(network, engine, node_id, retry_policy)
+            ReliableSender(network, engine, node_id, retry_policy, seed=transport_seed)
             if retry_policy is not None
             else None
         )
@@ -378,17 +380,20 @@ class DUSTClient:
         self.manager_node = resync.manager_node
         self._send_stat()
         for source, workload in sorted(self.hosted.items()):
-            self.network.send(
-                self.node_id,
-                self.manager_node,
-                OffloadAck(
-                    destination=self.node_id,
-                    source=source,
-                    accepted=True,
-                    reason="resync",
-                    amount_pct=workload.amount_pct,
-                ),
+            report = OffloadAck(
+                destination=self.node_id,
+                source=source,
+                accepted=True,
+                reason="resync",
+                amount_pct=workload.amount_pct,
             )
+            if self._reliable is not None:
+                # A lost resync report leaves the recovering manager
+                # blind to this hosting forever — retransmit until the
+                # manager's Receipt confirms it arrived.
+                self._reliable.send(self.manager_node, report)
+            else:
+                self.network.send(self.node_id, self.manager_node, report)
         if self.hosted:
             self.keepalives_sent += 1
             self.network.send(

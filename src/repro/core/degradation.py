@@ -1,0 +1,137 @@
+"""QoS degradation ladder: graceful load-shedding under control-plane overload.
+
+Long soak runs push open-loop event streams into the manager faster
+than it can always re-place; rather than letting the ingress queue grow
+without bound (or thrashing the solver), the control plane descends an
+explicit ladder of degradations, cheapest first:
+
+``NORMAL`` → ``SHED_LOW`` (drop lowest-QoS-tier re-placement events) →
+``WIDEN`` (multiply the re-solve interval) → ``FREEZE`` (stop
+re-solving entirely and serve the stale placement).
+
+The ladder is a pure, deterministic state machine over the ingress
+queue's fill fraction: escalation happens as soon as fill crosses a
+level's threshold; de-escalation steps down one level at a time and
+only after fill has dropped ``recover_margin`` *below* the current
+level's threshold (hysteresis, so a queue hovering at a boundary does
+not flap). Every transition is recorded — the soak result reports the
+full trajectory — and mirrored into the ``soak.ladder_level`` gauge and
+``soak.ladder_transitions`` counter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+from repro.obs import get_registry, trace_event
+
+
+class DegradationLevel(enum.IntEnum):
+    """Ladder rungs, in escalation order."""
+
+    NORMAL = 0
+    SHED_LOW = 1
+    WIDEN = 2
+    FREEZE = 3
+
+
+@dataclass(frozen=True)
+class LadderConfig:
+    """Thresholds (ingress-queue fill fractions) and knobs of the ladder."""
+
+    shed_low_at: float = 0.5
+    widen_at: float = 0.75
+    freeze_at: float = 0.92
+    recover_margin: float = 0.15
+    #: Multiplier applied to the base re-solve interval per rung at or
+    #: above ``WIDEN`` (one rung → ×widen_factor, FREEZE keeps it too).
+    widen_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        thresholds = (self.shed_low_at, self.widen_at, self.freeze_at)
+        if not all(0.0 < t <= 1.0 for t in thresholds):
+            raise SimulationError("ladder thresholds must be in (0, 1]")
+        if not self.shed_low_at < self.widen_at < self.freeze_at:
+            raise SimulationError("ladder thresholds must be strictly increasing")
+        if not 0.0 < self.recover_margin < self.shed_low_at:
+            raise SimulationError("recover_margin must be in (0, shed_low_at)")
+        if self.widen_factor < 1.0:
+            raise SimulationError("widen_factor must be >= 1")
+
+    def threshold(self, level: DegradationLevel) -> float:
+        """Fill fraction at which ``level`` engages (0 for NORMAL)."""
+        return {
+            DegradationLevel.NORMAL: 0.0,
+            DegradationLevel.SHED_LOW: self.shed_low_at,
+            DegradationLevel.WIDEN: self.widen_at,
+            DegradationLevel.FREEZE: self.freeze_at,
+        }[level]
+
+
+#: One recorded transition: (time, from-level, to-level, fill fraction).
+LadderTransition = Tuple[float, DegradationLevel, DegradationLevel, float]
+
+
+class DegradationLadder:
+    """The ladder's live state: current level plus transition history."""
+
+    def __init__(self, config: LadderConfig = LadderConfig()) -> None:
+        self.config = config
+        self.level = DegradationLevel.NORMAL
+        self.max_level = DegradationLevel.NORMAL
+        self.transitions: List[LadderTransition] = []
+
+    def update(self, fill: float, now: float) -> DegradationLevel:
+        """Advance the state machine for the observed queue ``fill``
+        (fraction of capacity, may exceed 1 under overflow); returns
+        the level in force afterwards."""
+        target = self.level
+        # Escalate straight to the highest rung the fill justifies.
+        for level in (
+            DegradationLevel.FREEZE,
+            DegradationLevel.WIDEN,
+            DegradationLevel.SHED_LOW,
+        ):
+            if fill >= self.config.threshold(level):
+                if level > target:
+                    target = level
+                break
+        # De-escalate one rung at a time, with hysteresis.
+        if (
+            target == self.level
+            and self.level > DegradationLevel.NORMAL
+            and fill <= self.config.threshold(self.level) - self.config.recover_margin
+        ):
+            target = DegradationLevel(self.level - 1)
+        if target != self.level:
+            self.transitions.append((now, self.level, target, fill))
+            registry = get_registry()
+            registry.counter("soak.ladder_transitions").inc()
+            registry.gauge("soak.ladder_level").set(int(target))
+            trace_event(
+                "soak.ladder", frm=int(self.level), to=int(target), fill=round(fill, 3)
+            )
+            self.level = target
+            if target > self.max_level:
+                self.max_level = target
+        return self.level
+
+    # -- policy the current level implies -------------------------------------
+    @property
+    def shedding_low_tier(self) -> bool:
+        """Lowest-tier re-placement events are dropped at admission."""
+        return self.level >= DegradationLevel.SHED_LOW
+
+    @property
+    def frozen(self) -> bool:
+        """Placement is frozen; the stale assignment keeps serving."""
+        return self.level >= DegradationLevel.FREEZE
+
+    def resolve_period(self, base_period_s: float) -> float:
+        """Re-solve interval in force: widened geometrically per rung
+        at or above ``WIDEN``."""
+        rungs = max(0, int(self.level) - int(DegradationLevel.WIDEN) + 1)
+        return base_period_s * self.config.widen_factor**rungs

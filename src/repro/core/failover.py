@@ -27,8 +27,13 @@ of double-driving the control plane.
 
 from __future__ import annotations
 
+import os
+import pickle
+import struct
+import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.messages import ControlMessage, ManagerHeartbeat
 from repro.core.nmdb import NodeRecord
@@ -50,18 +55,40 @@ class ManagerSnapshot:
     records: Dict[int, NodeRecord]
     ledger_rows: Tuple[ActiveOffload, ...]
     keepalive_watch: Dict[int, float]
+    #: Sources whose Redirect Receipt was still outstanding at persist
+    #: time; a promoted manager must not trust their ledger rows.
+    unconfirmed_sources: Tuple[int, ...] = ()
+
+
+#: Magic + format version framing the on-disk snapshot record.
+_SNAPSHOT_MAGIC = b"DUSTSNAP"
+_SNAPSHOT_HEADER = struct.Struct("<8sIQ")  # magic, crc32, payload length
 
 
 class SnapshotStore:
     """Stable storage for manager snapshots (latest-wins).
 
     In-simulation stand-in for a replicated store: survives the
-    manager's crash because it lives outside the manager object.
+    manager's crash because it lives outside the manager object. With
+    ``path`` set it additionally persists each accepted snapshot to
+    disk, surviving a full *process* crash — the standby's takeover
+    path reloads it through :meth:`load` after a restart.
+
+    The on-disk write is crash-safe: the framed record (magic + CRC32 +
+    length + pickle payload) is written to a sibling temp file, fsynced
+    and atomically renamed over the target, so a crash mid-write leaves
+    the previous good snapshot intact. A torn or corrupted file (bad
+    magic, short read, CRC mismatch) is detected on load and treated as
+    absent rather than poisoning the takeover (counted in
+    ``failover.snapshot_load_failures``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self._latest: Optional[ManagerSnapshot] = None
+        self.path = Path(path) if path is not None else None
         self.saves = 0
+        self.load_failures = 0
+        self._disk_checked = False
 
     def save(self, snapshot: ManagerSnapshot) -> None:
         if self._latest is not None and snapshot.version < self._latest.version:
@@ -69,13 +96,56 @@ class SnapshotStore:
         self._latest = snapshot
         self.saves += 1
         get_registry().counter("failover.snapshot_saves").inc()
+        if self.path is not None:
+            self.persist(snapshot)
+
+    def persist(self, snapshot: ManagerSnapshot) -> None:
+        """Write ``snapshot`` to :attr:`path` via temp file + fsync +
+        atomic rename (no-op without a path)."""
+        if self.path is None:
+            return
+        payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _SNAPSHOT_HEADER.pack(
+            _SNAPSHOT_MAGIC, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def _load_from_disk(self) -> Optional[ManagerSnapshot]:
+        if self.path is None or not self.path.exists():
+            return None
+        try:
+            raw = self.path.read_bytes()
+            magic, crc, length = _SNAPSHOT_HEADER.unpack_from(raw)
+            if magic != _SNAPSHOT_MAGIC:
+                raise ValueError("bad snapshot magic")
+            payload = raw[_SNAPSHOT_HEADER.size : _SNAPSHOT_HEADER.size + length]
+            if len(payload) != length or (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                raise ValueError("torn snapshot write (length/CRC mismatch)")
+            snapshot = pickle.loads(payload)
+            if not isinstance(snapshot, ManagerSnapshot):
+                raise ValueError(f"snapshot file holds {type(snapshot).__name__}")
+            return snapshot
+        except Exception:
+            self.load_failures += 1
+            get_registry().counter("failover.snapshot_load_failures").inc()
+            return None
 
     def load(self) -> Optional[ManagerSnapshot]:
+        if self._latest is None and not self._disk_checked:
+            self._disk_checked = True  # one verdict per file, not per call
+            self._latest = self._load_from_disk()
         return self._latest
 
     @property
     def version(self) -> int:
-        return -1 if self._latest is None else self._latest.version
+        latest = self.load()
+        return -1 if latest is None else latest.version
 
 
 class StandbyManager:

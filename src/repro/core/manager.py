@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -80,6 +80,12 @@ from repro.topology.graph import Topology
 
 _TOL = 1e-9
 
+#: Minimum spacing between corrective Reclaims for one
+#: (source, destination) pair — comfortably past the retry budget's
+#: give-up horizon, so a repair either landed or was abandoned before
+#: the next attempt can double-subtract a hosting.
+_RECLAIM_COOLDOWN_S = 60.0
+
 
 @dataclass
 class ManagerCounters:
@@ -109,7 +115,11 @@ class ManagerCounters:
     sources_abandoned: int = 0
     resync_rounds: int = 0
     resync_recovered: int = 0
+    redirects_unwound: int = 0
     snapshots_persisted: int = 0
+    # -- degradation ladder (soak control plane) ---------------------------
+    rounds_frozen: int = 0
+    placements_reset: int = 0
     # Mirrored from the reliable sender / network by
     # :meth:`DUSTManager.refresh_transport_counters` so reports see one
     # consolidated counter block.
@@ -154,6 +164,11 @@ class DUSTManager:
         standby_node: Optional[int] = None,
         heartbeat_period_s: float = 10.0,
         resync_window_s: float = 120.0,
+        dedup_capacity: int = 4096,
+        dedup_ttl_s: Optional[float] = None,
+        transport_seed: int = 0,
+        on_admission: Optional[Callable[[int], None]] = None,
+        on_eviction: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.node_id = node_id
         self.topology = topology
@@ -207,17 +222,36 @@ class DUSTManager:
         self._pending: Dict[Tuple[int, int], _PendingRequest] = {}
         self._started = False
         self._crashed = False
-        self._dedup = DedupCache()
+        self._dedup = DedupCache(
+            capacity=dedup_capacity, ttl_s=dedup_ttl_s, clock=lambda: engine.now
+        )
         self._reliable: Optional[ReliableSender] = (
-            ReliableSender(network, engine, node_id, retry_policy)
+            ReliableSender(network, engine, node_id, retry_policy, seed=transport_seed)
             if retry_policy is not None
             else None
         )
+        #: Churn hooks for long-running drivers (the soak control plane
+        #: observes admission/eviction without poking counters).
+        self.on_admission = on_admission
+        self.on_eviction = on_eviction
+        #: Degradation-ladder controls: a frozen manager skips its
+        #: optimization rounds (serving the stale placement) and the
+        #: round period may be widened mid-run — the optimize loop
+        #: re-reads ``optimization_period_s`` on every tick.
+        self.placement_frozen = False
         self._quarantined: Dict[int, float] = {}  # node -> quarantined until
         # Redirect msg_id -> source, while the client's Receipt is
         # outstanding; confirmation times gate re-placing that source.
         self._unconfirmed_redirects: Dict[int, int] = {}
         self._redirect_confirmed_at: Dict[int, float] = {}
+        # (source, destination) rows deliberately unwound at takeover
+        # because the source never confirmed the predecessor's Redirect;
+        # a destination's resync report must not resurrect them.
+        self._unwound_offloads: Set[Tuple[int, int]] = set()
+        # (source, destination) -> time of the last corrective Reclaim;
+        # repeated repair attempts within the cooldown are dropped so a
+        # raced pair of re-reports cannot double-subtract a hosting.
+        self._corrective_reclaim_at: Dict[Tuple[int, int], float] = {}
         self._probes: Dict[int, float] = {}  # destination -> grace deadline
         self._probe_failed: Set[int] = set()
         self._resync_until = float("-inf")
@@ -230,11 +264,24 @@ class DUSTManager:
             raise ProtocolError("manager already started")
         self._started = True
         self.network.register(self.node_id, self._receive)
-        self.engine.schedule_periodic(
-            self.optimization_period_s,
-            lambda engine: self.run_optimization_round(),
-            label="manager-optimize",
-            condition=lambda: not self._crashed,
+
+        # Self-rescheduling optimize loop (not schedule_periodic): the
+        # degradation ladder may widen ``optimization_period_s`` or set
+        # ``placement_frozen`` mid-run, and each tick must honour the
+        # current values.
+        def optimize_tick(engine: SimulationEngine) -> None:
+            if self._crashed:
+                return
+            if self.placement_frozen:
+                self.counters.rounds_frozen += 1
+            else:
+                self.run_optimization_round()
+            engine.schedule_after(
+                self.optimization_period_s, optimize_tick, "manager-optimize"
+            )
+
+        self.engine.schedule_after(
+            self.optimization_period_s, optimize_tick, "manager-optimize"
         )
         self.engine.schedule_periodic(
             self.keepalive_timeout_s / 2.0,
@@ -334,6 +381,9 @@ class DUSTManager:
             records=self.nmdb.export_records(),
             ledger_rows=tuple(dc_replace(o) for o in self.ledger.active),
             keepalive_watch=self.keepalives.export(),
+            unconfirmed_sources=tuple(
+                sorted(set(self._unconfirmed_redirects.values()))
+            ),
         )
 
     def restore_snapshot(self, snapshot) -> None:
@@ -342,13 +392,48 @@ class DUSTManager:
         Keepalive clocks restart at *now*: destinations get one full
         timeout to re-heartbeat instead of being mass-evicted for
         silence that happened while no manager was listening.
+
+        Ledger rows whose source never confirmed the predecessor's
+        Redirect are *unwound*, not adopted: the source may never have
+        applied the offload (the Redirect died with the primary), so
+        keeping the row would park hosting capacity on the destination
+        for load the source still carries. Reclaim goes to both ends —
+        a source that never applied it treats the take-back as a no-op,
+        one whose Receipt was lost in flight rolls the mapping back —
+        and the next optimization round re-places the excess cleanly.
         """
         self._snapshot_version = snapshot.version
         self.nmdb.load_records(snapshot.records)
+        unconfirmed = set(getattr(snapshot, "unconfirmed_sources", ()))
         for row in snapshot.ledger_rows:
             self.ledger.add(dc_replace(row))
         for node in snapshot.keepalive_watch:
             self.keepalives.record(node, self.engine.now)
+        for source in sorted(unconfirmed):
+            for offload in self.ledger.reclaim(source):
+                self.counters.redirects_unwound += 1
+                self._unwound_offloads.add((offload.source, offload.destination))
+                self._corrective_reclaim_at[
+                    (offload.source, offload.destination)
+                ] = self.engine.now
+                self._send_ctrl(
+                    offload.destination,
+                    Reclaim(
+                        source=offload.source,
+                        destination=offload.destination,
+                        amount_pct=offload.amount_pct,
+                    ),
+                )
+                self._send_ctrl(
+                    offload.source,
+                    Reclaim(
+                        source=offload.source,
+                        destination=offload.destination,
+                        amount_pct=offload.amount_pct,
+                    ),
+                )
+        if unconfirmed:
+            self._persist()
 
     def begin_resync(self) -> int:
         """Open the post-failover reconciliation window and ask every
@@ -380,11 +465,22 @@ class DUSTManager:
         elif isinstance(payload, Stat):
             reply = self._on_stat(payload)
         elif isinstance(payload, OffloadAck):
-            self._on_offload_ack(payload)
+            reply = self._on_offload_ack(payload)
         elif isinstance(payload, Keepalive):
             self.counters.keepalives_received += 1
             self.keepalives.record(payload.node_id, payload.timestamp)
             self._clear_probe(payload.node_id)
+            # A heartbeat naming a source this ledger cannot account
+            # for means the destination carries an orphaned hosting
+            # (e.g. its resync report never arrived). Ask for a full
+            # re-report; the resync reply paths reconcile or reclaim.
+            known = {o.source for o in self.ledger.hosted_by(payload.node_id)}
+            if any(s not in known for s in payload.hosted_sources):
+                self.network.send(
+                    self.node_id,
+                    payload.node_id,
+                    Resync(manager_node=self.node_id, timestamp=self.engine.now),
+                )
         elif isinstance(payload, Receipt) and self._reliable is not None:
             self._reliable.acknowledge(payload.acked_msg_id)
             confirmed_source = self._unconfirmed_redirects.pop(
@@ -392,6 +488,9 @@ class DUSTManager:
             )
             if confirmed_source is not None:
                 self._redirect_confirmed_at[confirmed_source] = self.engine.now
+                # Persist the confirmation: a successor must not unwind
+                # a row whose source provably applied its Redirect.
+                self._persist()
             if payload.node_id in self._probes or payload.node_id in self._probe_failed:
                 # Answer to a keepalive probe: the destination lives.
                 self.keepalives.record(payload.node_id, self.engine.now)
@@ -404,6 +503,8 @@ class DUSTManager:
         self.nmdb.register_capability(payload)
         self._persist()
         self.counters.acks_sent += 1
+        if self.on_admission is not None:
+            self.on_admission(payload.node_id)
         ack = Ack(node_id=payload.node_id, update_interval_s=self.update_interval_s)
         self.network.send(self.node_id, payload.node_id, ack)
         return ack
@@ -428,17 +529,25 @@ class DUSTManager:
         self._maybe_reclaim(payload)
         return receipt
 
-    def _on_offload_ack(self, ack: OffloadAck) -> None:
+    def _on_offload_ack(self, ack: OffloadAck) -> Optional[Receipt]:
         if self._reliable is not None:
             self._reliable.acknowledge(ack.request_id)
+        receipt: Optional[Receipt] = None
+        if self._reliable is not None and ack.reason == "resync":
+            # Resync reports are retransmitted until confirmed — the
+            # Receipt (also cached for duplicates by the dedup layer)
+            # stops the destination's sender.
+            receipt = Receipt(node_id=self.node_id, acked_msg_id=ack.msg_id)
+            self.network.send(self.node_id, ack.destination, receipt)
         pending = self._pending.pop((ack.source, ack.destination), None)
         if pending is None:
             self._on_unmatched_ack(ack)
-            return
+            return receipt
         if not ack.accepted:
             self.counters.offloads_rejected += 1
-            return
+            return receipt
         self.counters.offloads_established += 1
+        self._unwound_offloads.discard((pending.source, pending.destination))
         self.ledger.add(
             ActiveOffload(
                 source=pending.source,
@@ -449,8 +558,6 @@ class DUSTManager:
                 via_replica=pending.via_replica,
             )
         )
-        self._persist()
-        self.keepalives.watch(pending.destination, self.engine.now)
         # The source is redirected for fresh offloads *and* for replica
         # substitutions — in the latter case its stale mapping to the
         # failed destination was already cancelled during the sweep.
@@ -463,9 +570,17 @@ class DUSTManager:
         if self._reliable is not None:
             # Until the source's Receipt lands its capacity reports
             # still include the redirected load — track the window so
-            # optimization rounds don't re-place the same excess.
+            # optimization rounds don't re-place the same excess, and a
+            # successor restoring the snapshot knows this row's source
+            # side is unproven. Registered *before* the persist so the
+            # two invariants travel together: every snapshot holding
+            # the row either holds its pending-confirmation mark or
+            # postdates the source's Receipt.
             self._unconfirmed_redirects[redirect.msg_id] = pending.source
+        self._persist()
+        self.keepalives.watch(pending.destination, self.engine.now)
         self._send_ctrl(pending.source, redirect, on_give_up=self._on_redirect_give_up)
+        return receipt
 
     def _on_unmatched_ack(self, ack: OffloadAck) -> None:
         """An Offload-ACK with no pending request.
@@ -478,11 +593,22 @@ class DUSTManager:
         """
         in_resync = self.engine.now <= self._resync_until
         if in_resync and ack.accepted and ack.amount_pct > _TOL:
-            already = any(
-                o.source == ack.source and o.destination == ack.destination
-                for o in self.ledger.active
-            )
-            if not already:
+            if (ack.source, ack.destination) in self._unwound_offloads:
+                # The destination's resync report raced the takeover
+                # unwind Reclaim — repeat the take-back rather than
+                # resurrect a row the source may never have applied.
+                self._corrective_reclaim(ack.source, ack.destination, ack.amount_pct)
+                return
+            known = self.ledger.pair_amount(ack.source, ack.destination)
+            if known > _TOL:
+                excess = ack.amount_pct - known
+                if excess > _TOL:
+                    # The destination hosts more for this source than
+                    # the books say: the surplus was established but
+                    # never persisted, so its source was never
+                    # redirected — take back the destination's share.
+                    self._corrective_reclaim(ack.source, ack.destination, excess)
+            else:
                 self.ledger.add(
                     ActiveOffload(
                         source=ack.source,
@@ -493,7 +619,24 @@ class DUSTManager:
                     )
                 )
                 self.counters.resync_recovered += 1
+                # The destination's hosting proves only its own side.
+                # The predecessor persisted every row *before* sending
+                # its Redirect, so a row missing from the snapshot
+                # means the source was never redirected — complete the
+                # handshake now, or the source keeps carrying load the
+                # destination also hosts.
+                redirect = Redirect(
+                    source=ack.source,
+                    destination=ack.destination,
+                    amount_pct=ack.amount_pct,
+                    route=(ack.source, ack.destination),
+                )
+                if self._reliable is not None:
+                    self._unconfirmed_redirects[redirect.msg_id] = ack.source
                 self._persist()
+                self._send_ctrl(
+                    ack.source, redirect, on_give_up=self._on_redirect_give_up
+                )
             self.keepalives.watch(ack.destination, self.engine.now)
             return
         if self.retry_policy is None:
@@ -501,30 +644,42 @@ class DUSTManager:
                 f"unexpected Offload-ACK for {ack.source}->{ack.destination}"
             )
         if ack.accepted and ack.amount_pct > _TOL:
-            if any(
-                o.source == ack.source and o.destination == ack.destination
-                for o in self.ledger.active
-            ):
+            known = self.ledger.pair_amount(ack.source, ack.destination)
+            if known > _TOL:
                 # Re-confirmation of a row that is still live (e.g. the
                 # destination answered a keepalive probe's Resync):
-                # proof of life, not an orphan.
+                # proof of life, not an orphan — but a hosting larger
+                # than the books means an unpersisted surplus is hiding
+                # inside the aggregate; take back the difference.
+                excess = ack.amount_pct - known
+                if excess > _TOL:
+                    self._corrective_reclaim(ack.source, ack.destination, excess)
                 self.counters.acks_reconfirmed += 1
                 self.keepalives.record(ack.destination, self.engine.now)
                 self._clear_probe(ack.destination)
                 return
             # The give-up already wrote this destination off; undo the
             # orphaned hosting so client and ledger re-converge.
-            self.counters.orphans_reclaimed += 1
-            self._send_ctrl(
-                ack.destination,
-                Reclaim(
-                    source=ack.source,
-                    destination=ack.destination,
-                    amount_pct=ack.amount_pct,
-                ),
-            )
+            self._corrective_reclaim(ack.source, ack.destination, ack.amount_pct)
             return
         self.counters.stale_acks_ignored += 1
+
+    def _corrective_reclaim(
+        self, source: int, destination: int, amount_pct: float
+    ) -> None:
+        """Undo an orphaned (or surplus) hosting, at most once per
+        cooldown per pair: Reclaim *subtracts*, so a raced duplicate of
+        a partial repair would eat into a legitimate hosting."""
+        key = (source, destination)
+        last = self._corrective_reclaim_at.get(key)
+        if last is not None and self.engine.now - last < _RECLAIM_COOLDOWN_S:
+            return
+        self._corrective_reclaim_at[key] = self.engine.now
+        self.counters.orphans_reclaimed += 1
+        self._send_ctrl(
+            destination,
+            Reclaim(source=source, destination=destination, amount_pct=amount_pct),
+        )
 
     # -- give-up (retry budget exhausted) hooks ---------------------------------------
     def _on_request_give_up(self, destination: int, payload: ControlMessage) -> None:
@@ -547,12 +702,29 @@ class DUSTManager:
     def _on_redirect_give_up(self, destination: int, payload: ControlMessage) -> None:
         """A source never confirmed its Redirect — it is unreachable
         (likely crashed). Its ledger rows are reclaimed so hosting
-        capacity is not parked for a ghost."""
+        capacity is not parked for a ghost.
+
+        The take-back also goes to the source itself: "never confirmed"
+        may mean the *Receipts* were the unlucky messages, leaving a
+        live source that applied every Redirect it was written off for.
+        A dead source never sees the message; one that never applied
+        treats the roll-back as a no-op."""
         self.counters.sources_abandoned += 1
         self._unconfirmed_redirects.pop(payload.msg_id, None)
         for offload in self.ledger.reclaim(destination):
+            self._corrective_reclaim_at[
+                (offload.source, offload.destination)
+            ] = self.engine.now
             self._send_ctrl(
                 offload.destination,
+                Reclaim(
+                    source=offload.source,
+                    destination=offload.destination,
+                    amount_pct=offload.amount_pct,
+                ),
+            )
+            self._send_ctrl(
+                offload.source,
                 Reclaim(
                     source=offload.source,
                     destination=offload.destination,
@@ -749,6 +921,8 @@ class DUSTManager:
         quarantined = self.quarantined_nodes()
         for dest in failed:
             self.counters.destinations_failed += 1
+            if self.on_eviction is not None:
+                self.on_eviction(dest)
             # Aggregate per source: the ledger may hold several rows for
             # one (source, dest) pair, and re-homing them separately
             # would duplicate REPs to the same replica.
@@ -818,6 +992,33 @@ class DUSTManager:
                     on_give_up=self._on_request_give_up,
                 )
         return failed
+
+    # -- forced reconvergence ---------------------------------------------------------------
+    def reset_placement(self) -> int:
+        """Tear the current placement down and re-place from scratch.
+
+        Every active offload is reclaimed (both endpoints are told),
+        the warm-start session and its cached basis are dropped, and an
+        immediate optimization round re-solves from the live NMDB. The
+        soak drift watchdog invokes this when the incremental placement
+        has diverged from the from-scratch oracle past its bound;
+        returns the number of ledger rows torn down.
+        """
+        rows = 0
+        for source in list(self.ledger.sources):
+            for offload in self.ledger.reclaim(source):
+                rows += 1
+                reclaim = Reclaim(
+                    source=offload.source,
+                    destination=offload.destination,
+                    amount_pct=offload.amount_pct,
+                )
+                self._send_ctrl(offload.destination, reclaim)
+                self._send_ctrl(offload.source, reclaim)
+        self.placement_session.reset()
+        self.counters.placements_reset += 1
+        self._persist()
+        return rows
 
     # -- reclaim --------------------------------------------------------------------------------
     def _maybe_reclaim(self, stat: Stat) -> None:

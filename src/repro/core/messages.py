@@ -282,12 +282,23 @@ class RetryPolicy:
     ``max_timeout_s``. After ``max_retries`` unacknowledged
     retransmissions the sender gives up and invokes the caller's
     give-up hook (graceful degradation, not an exception).
+
+    ``jitter`` (0..1) enables decorrelated jitter: each timeout is
+    drawn from the upper ``jitter`` fraction of
+    ``[base_timeout_s, min(max_timeout_s, previous * backoff)]``, so
+    retransmissions from many clients that lost messages in the same
+    burst do not re-synchronize into the next loss burst. Draws come
+    from a per-sender seeded generator (see :class:`ReliableSender`),
+    so a run stays a pure function of its seed; with ``jitter=0`` the
+    schedule is the deterministic exponential one and no RNG is ever
+    consulted.
     """
 
     base_timeout_s: float = 5.0
     backoff: float = 2.0
     max_timeout_s: float = 60.0
     max_retries: int = 4
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.base_timeout_s <= 0 or self.max_timeout_s < self.base_timeout_s:
@@ -296,9 +307,13 @@ class RetryPolicy:
             raise ValueError(f"backoff must be >= 1, got {self.backoff}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def timeout_for(self, attempt: int) -> float:
-        """Timeout preceding retransmission ``attempt`` (0-based)."""
+        """Deterministic timeout preceding retransmission ``attempt``
+        (0-based); the jitter-free schedule, and the upper bound the
+        jittered one never exceeds."""
         return min(self.base_timeout_s * self.backoff**attempt, self.max_timeout_s)
 
 
@@ -309,28 +324,85 @@ class DedupCache:
     answered a request remember the reply via ``remember`` so a
     retransmitted request re-elicits the same answer without the state
     transition running twice — the classic at-most-once RPC cache.
+
+    Boundedness matters for soak runs that push millions of events
+    through one endpoint: the cache evicts least-recently-touched
+    entries past ``capacity`` (LRU) and, with ``ttl_s`` set, entries
+    untouched for longer than the TTL (read off ``clock``, typically
+    the simulation engine's virtual clock). Retransmission windows are
+    bounded by the retry budget, so a TTL comfortably above the give-up
+    horizon loses no dedup coverage. Evictions are counted on the
+    instance (:attr:`lru_evictions` / :attr:`ttl_expirations`) and
+    mirrored into the ``transport.dedup_lru_evictions`` /
+    ``transport.dedup_ttl_expirations`` metrics.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        if ttl_s is not None and clock is None:
+            raise ValueError("a TTL needs a clock to expire against")
         self.capacity = capacity
-        self._seen: "OrderedDict[Tuple[int, int], Optional[ControlMessage]]" = OrderedDict()
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self.lru_evictions = 0
+        self.ttl_expirations = 0
+        # key -> (reply, last-touch time); ordered oldest-touch first.
+        self._seen: "OrderedDict[Tuple[int, int], Tuple[Optional[ControlMessage], float]]" = (
+            OrderedDict()
+        )
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def _expire(self, now: float) -> None:
+        if self.ttl_s is None:
+            return
+        cutoff = now - self.ttl_s
+        expired = 0
+        while self._seen:
+            _, (_, touched) = next(iter(self._seen.items()))
+            if touched > cutoff:
+                break
+            self._seen.popitem(last=False)
+            expired += 1
+        if expired:
+            self.ttl_expirations += expired
+            get_registry().counter("transport.dedup_ttl_expirations").inc(expired)
 
     def check(self, sender: int, msg_id: int) -> Tuple[bool, Optional["ControlMessage"]]:
+        now = self._now()
+        self._expire(now)
         key = (sender, msg_id)
-        if key in self._seen:
+        entry = self._seen.get(key)
+        if entry is not None:
+            self._seen[key] = (entry[0], now)
             self._seen.move_to_end(key)
-            return True, self._seen[key]
+            return True, entry[0]
         return False, None
 
     def remember(
         self, sender: int, msg_id: int, reply: Optional["ControlMessage"] = None
     ) -> None:
-        self._seen[(sender, msg_id)] = reply
-        self._seen.move_to_end((sender, msg_id))
+        now = self._now()
+        self._expire(now)
+        key = (sender, msg_id)
+        self._seen[key] = (reply, now)
+        self._seen.move_to_end(key)
+        evicted = 0
         while len(self._seen) > self.capacity:
             self._seen.popitem(last=False)
+            evicted += 1
+        if evicted:
+            self.lru_evictions += evicted
+            get_registry().counter("transport.dedup_lru_evictions").inc(evicted)
 
     def clear(self) -> None:
         self._seen.clear()
@@ -348,6 +420,7 @@ class _Outstanding:
     attempt: int  # retransmissions performed so far
     timer: Any  # ScheduledEvent
     on_give_up: Optional[Callable[[int, Any], None]]
+    prev_timeout: float = 0.0  # last armed timeout (decorrelated jitter state)
 
 
 class ReliableSender:
@@ -383,7 +456,14 @@ class ReliableSender:
         retries are visible on the placement-round timeline.
     """
 
-    def __init__(self, network, engine, node_id: int, policy: RetryPolicy) -> None:
+    def __init__(
+        self,
+        network,
+        engine,
+        node_id: int,
+        policy: RetryPolicy,
+        seed: int = 0,
+    ) -> None:
         self.network = network
         self.engine = engine
         self.node_id = node_id
@@ -391,6 +471,29 @@ class ReliableSender:
         self._outstanding: Dict[int, _Outstanding] = {}
         self.retransmissions = 0
         self.gave_up = 0
+        # Jitter draws come from a stream keyed on (seed, node id), so
+        # two endpoints sharing one policy still desynchronize while a
+        # whole run stays reproducible from its seed. Created lazily —
+        # a jitter-free policy never touches numpy's RNG machinery.
+        self._jitter_seed = (int(seed), int(node_id))
+        self._jitter_rng = None
+
+    def _timeout_for(self, entry: _Outstanding) -> float:
+        """Next retransmission timeout: deterministic exponential, or a
+        decorrelated-jitter draw when the policy asks for one."""
+        policy = self.policy
+        if policy.jitter <= 0.0:
+            return policy.timeout_for(entry.attempt)
+        if self._jitter_rng is None:
+            import numpy as _np
+
+            self._jitter_rng = _np.random.default_rng(self._jitter_seed)
+        prev = entry.prev_timeout if entry.prev_timeout > 0.0 else policy.base_timeout_s
+        cap = min(policy.max_timeout_s, max(policy.base_timeout_s, prev * policy.backoff))
+        low = policy.base_timeout_s + (1.0 - policy.jitter) * (cap - policy.base_timeout_s)
+        timeout = float(self._jitter_rng.uniform(low, cap))
+        entry.prev_timeout = timeout
+        return timeout
 
     @property
     def pending(self) -> int:
@@ -417,7 +520,7 @@ class ReliableSender:
 
     def _arm(self, key: int, entry: _Outstanding) -> None:
         entry.timer = self.engine.schedule_after(
-            self.policy.timeout_for(entry.attempt),
+            self._timeout_for(entry),
             lambda engine, key=key: self._on_timeout(key),
             label=f"retx-{self.node_id}-{key}",
         )

@@ -194,6 +194,43 @@ def recovery_time_s(
     return max(0.0, recovered_at - disruption_time)
 
 
+def relief_by_source(offloads: Iterable) -> Dict[int, float]:
+    """Total offloaded amount per *source* node (destination-agnostic).
+
+    The soak drift watchdog compares the live incremental placement
+    against a from-scratch oracle solve. The two may legitimately pick
+    different destinations among capacity-equivalent helpers, so the
+    meaningful drift signal is *how much relief each overloaded source
+    receives*, not which exact edge carries it.
+    """
+    totals: Dict[int, float] = {}
+    for o in offloads:
+        src = int(o.source)
+        totals[src] = totals.get(src, 0.0) + float(o.amount_pct)
+    return totals
+
+
+def relief_divergence(
+    reference: Dict[int, float], observed: Dict[int, float]
+) -> float:
+    """Fraction of reference relief mis-delivered, per source.
+
+    Symmetric difference of per-source relief amounts normalised by the
+    total reference relief: 0.0 when every source gets exactly the
+    relief the oracle would grant it, 1.0 when none does. An empty
+    reference (oracle sees no overload) scores 0 only if the observed
+    placement is also empty.
+    """
+    total_ref = sum(reference.values())
+    mismatch = sum(
+        abs(reference.get(k, 0.0) - observed.get(k, 0.0))
+        for k in set(reference) | set(observed)
+    )
+    if total_ref <= _TOL:
+        return 0.0 if mismatch <= _TOL else 1.0
+    return mismatch / total_ref
+
+
 def message_overhead_pct(faulty_sent: int, baseline_sent: int) -> float:
     """Extra control messages a lossy run cost, relative to the
     fault-free baseline (0 when the baseline sent nothing)."""

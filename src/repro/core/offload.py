@@ -127,6 +127,16 @@ class OffloadLedger:
     def offloaded_amount(self, source: int) -> float:
         return float(sum(o.amount_pct for o in self.offloaded_from(source)))
 
+    def pair_amount(self, source: int, destination: int) -> float:
+        """Total booked amount for one ``source -> destination`` pair."""
+        return float(
+            sum(
+                o.amount_pct
+                for o in self._active
+                if o.source == source and o.destination == destination
+            )
+        )
+
     @property
     def destinations(self) -> List[int]:
         return sorted({o.destination for o in self._active})

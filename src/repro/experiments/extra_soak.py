@@ -1,0 +1,128 @@
+"""Extra study: soak the control plane under sustained churn + chaos.
+
+The paper evaluates one-shot placements on static snapshots; this study
+drives the manager with hours of *open-loop* traffic — diurnal load
+drift, Poisson offload demands, bursty admission/eviction churn —
+through a bounded QoS-tiered ingress gate, and measures whether the
+control plane keeps up (wall-clock event throughput, event latency
+percentiles), degrades gracefully when it cannot (degradation-ladder
+trajectory), and stays honest about its incremental re-placement (drift
+watchdog against a from-scratch oracle solve). Each seed runs the soak
+twice: chaos off (the throughput row) and with composed chaos — 20%
+message loss, duplication/reordering, a timed network partition, and a
+mid-soak manager crash recovered by the standby (the recovery row).
+PRODUCTION-tier events must never be shed or rejected, and the
+strict-priority QoS audit must show zero production-class loss.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.obs import normalize_counter_keys, observability_artifact
+from repro.simulation.soak import SoakConfig, default_soak_chaos, run_soak
+
+DEFAULT_SEEDS: Sequence[int] = (0, 1)
+
+
+def _record(label: str, result) -> dict:
+    counters = result.counters
+    return {
+        "mode": label,
+        "seed": result.config.seed,
+        "events_generated": result.events_generated,
+        "events_applied": result.events_applied,
+        "events_per_min": result.events_per_min,
+        "wall_seconds": result.wall_seconds,
+        "latency_p50_s": result.latency_p50_s,
+        "latency_p95_s": result.latency_p95_s,
+        "latency_p99_s": result.latency_p99_s,
+        "ladder_max_level": int(result.ladder_max_level),
+        "ladder_transitions": len(result.ladder_transitions),
+        "final_drift": result.final_drift,
+        "watchdog_resets": result.watchdog_resets,
+        "production_losses": result.production_losses,
+        "production_loss_mb": result.qos.production_loss_mb,
+        "manager_took_over_at": result.took_over_at,
+        "counters": normalize_counter_keys(
+            {
+                "offloads_established": counters.offloads_established,
+                "rounds_frozen": counters.rounds_frozen,
+                "placements_reset": counters.placements_reset,
+                "retransmissions": counters.retransmissions,
+                "messages_dropped": result.network.messages_dropped,
+            }
+        ),
+    }
+
+
+def run(
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon_s: float = 600.0,
+    json_path: Optional[str] = None,
+) -> ExperimentResult:
+    """Calm + chaotic soak per seed; optionally dumps the throughput,
+    drift and QoS metrics as JSON (the CI soak-smoke artifact)."""
+    start = time.perf_counter()
+    base = SoakConfig(horizon_s=horizon_s)
+    chaos = default_soak_chaos(crash_at=horizon_s / 2.0)
+    rows = []
+    records = []
+    for seed in seeds:
+        for label, config in (
+            ("calm", replace(base, seed=seed)),
+            ("chaos", replace(base, seed=seed, chaos=chaos)),
+        ):
+            result = run_soak(config)
+            record = _record(label, result)
+            records.append(record)
+            rows.append(
+                (
+                    seed,
+                    label,
+                    result.events_applied,
+                    f"{result.events_per_min:,.0f}",
+                    f"{result.latency_p95_s:.2f}",
+                    int(result.ladder_max_level),
+                    round(result.final_drift, 3),
+                    result.watchdog_resets,
+                    result.production_losses,
+                    result.qos.production_loss_mb,
+                )
+            )
+    if json_path is not None:
+        artifact = {"runs": records, "observability": observability_artifact()}
+        Path(json_path).write_text(json.dumps(artifact, indent=2))
+    calm = [r for r in records if r["mode"] == "calm"]
+    chaotic = [r for r in records if r["mode"] == "chaos"]
+    floor = min(r["events_per_min"] for r in calm) if calm else 0.0
+    recovered = all(r["final_drift"] <= base.drift_bound for r in chaotic)
+    clean_qos = all(
+        r["production_losses"] == 0 and r["production_loss_mb"] == 0.0
+        for r in records
+    )
+    return ExperimentResult(
+        experiment_id="soak",
+        title="Soak: sustained churn + composed chaos against the manager (extra)",
+        columns=(
+            "seed", "mode", "applied", "events/min", "p95 lat (s)",
+            "ladder max", "final drift", "resets", "prod shed", "prod loss (MB)",
+        ),
+        rows=tuple(rows),
+        paper_claim=(
+            "the paper evaluates one-shot placements on static snapshots; "
+            "sustained operation is not measured (no figure)"
+        ),
+        observations=(
+            f"calm-soak throughput floor {floor:,.0f} events/min; chaotic runs "
+            f"{'all' if recovered else 'did NOT all'} end within the drift "
+            f"bound; production-class QoS loss {'stayed zero' if clean_qos else 'was observed'}"
+        ),
+        elapsed_s=time.perf_counter() - start,
+        params=(("seeds", tuple(seeds)), ("horizon_s", horizon_s)),
+    )

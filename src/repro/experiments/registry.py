@@ -11,6 +11,7 @@ from repro.experiments import (
     extra_hops,
     extra_overhead,
     extra_resilience,
+    extra_soak,
     fig1_cpu_monitoring,
     fig6_offload_savings,
     fig7_infeasible_rate,
@@ -97,6 +98,10 @@ _register(ExperimentEntry(
 _register(ExperimentEntry(
     "resilience", "Chaos resilience: lossy fabric + manager failover (extra)",
     extra_resilience.run, {"seeds": (0,), "horizon_s": 1800.0},
+))
+_register(ExperimentEntry(
+    "soak", "Soak: sustained churn + composed chaos against the manager (extra)",
+    extra_soak.run, {"seeds": (0,), "horizon_s": 300.0},
 ))
 
 #: Paper figures, in publication order (the `all` target).

@@ -82,7 +82,10 @@ MANAGER_COUNTERS_MIRROR: Dict[str, str] = {
         "sources_abandoned",
         "resync_rounds",
         "resync_recovered",
+        "redirects_unwound",
         "snapshots_persisted",
+        "rounds_frozen",
+        "placements_reset",
     )
 }
 

@@ -23,6 +23,7 @@ network    message fabric (:mod:`repro.simulation.network_sim`)
 transport  reliable-delivery layer (:mod:`repro.core.messages`)
 failover   snapshot/standby machinery (:mod:`repro.core.failover`)
 chaos      chaos harness (:mod:`repro.simulation.chaos`)
+soak       soak harness + degradation ladder (:mod:`repro.simulation.soak`)
 topology   CSR adjacency cache (:mod:`repro.topology.graph`)
 parallel   worker pools + shared-memory arenas (:mod:`repro.parallel`)
 ========== ==========================================================
@@ -160,8 +161,14 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "Post-failover resync rounds opened"),
     ("counter", "manager.resync_recovered", "count", "repro.core.manager",
      "Ledger rows rebuilt from resync re-confirmations"),
+    ("counter", "manager.redirects_unwound", "count", "repro.core.manager",
+     "Takeover-restored ledger rows reclaimed: source never confirmed the Redirect"),
     ("counter", "manager.snapshots_persisted", "count", "repro.core.manager",
      "Manager state snapshots written to stable storage"),
+    ("counter", "manager.rounds_frozen", "count", "repro.core.manager",
+     "Optimization rounds skipped while the degradation ladder froze placement"),
+    ("counter", "manager.placements_reset", "count", "repro.core.manager",
+     "Forced from-scratch reconvergences (drift watchdog resets)"),
     ("histogram", "manager.optimization_round_seconds", "seconds",
      "repro.core.manager", "Wall time of one optimization round"),
     # -- client: per-node endpoints (aggregated over all clients) -------------------
@@ -196,6 +203,10 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "ACK-gated retransmissions fired by any ReliableSender"),
     ("counter", "transport.sends_gave_up", "count", "repro.core.messages",
      "Reliable sends abandoned after the retry budget"),
+    ("counter", "transport.dedup_lru_evictions", "count", "repro.core.messages",
+     "Dedup-cache entries evicted by the LRU capacity bound"),
+    ("counter", "transport.dedup_ttl_expirations", "count", "repro.core.messages",
+     "Dedup-cache entries expired by the TTL sweep"),
     # -- failover: snapshots + standby ----------------------------------------------
     ("counter", "failover.heartbeats_seen", "count", "repro.core.failover",
      "Primary heartbeats observed by the standby"),
@@ -205,6 +216,8 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "Takeovers aborted by the split-brain guard"),
     ("counter", "failover.snapshot_saves", "count", "repro.core.failover",
      "Snapshots accepted by the stable store"),
+    ("counter", "failover.snapshot_load_failures", "count", "repro.core.failover",
+     "Torn or corrupted on-disk snapshots rejected on load"),
     # -- chaos: scenario harness ----------------------------------------------------
     ("counter", "chaos.runs", "count", "repro.simulation.chaos",
      "Chaos scenarios executed (faulty and reference runs)"),
@@ -212,6 +225,39 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "evaluate_scenario comparisons completed"),
     ("histogram", "chaos.run_seconds", "seconds", "repro.simulation.chaos",
      "Wall time of one scenario run"),
+    # -- soak: sustained-churn harness ------------------------------------------------
+    ("counter", "soak.runs", "count", "repro.simulation.soak",
+     "Soak runs executed"),
+    ("counter", "soak.events_generated", "count", "repro.simulation.soak",
+     "Events emitted by the open-loop arrival streams"),
+    ("counter", "soak.events_applied", "count", "repro.simulation.soak",
+     "Events drained from the ingress gate and applied"),
+    ("counter", "soak.events_rejected", "count", "repro.simulation.soak",
+     "Events dropped by the full ingress gate (backpressure)"),
+    ("counter", "soak.events_shed", "count", "repro.simulation.soak",
+     "Low-tier events shed by the degradation ladder"),
+    ("counter", "soak.admissions", "count", "repro.simulation.soak",
+     "Client admissions observed via the manager's admission hook"),
+    ("counter", "soak.evictions", "count", "repro.simulation.soak",
+     "Destination evictions observed via the manager's eviction hook"),
+    ("counter", "soak.ladder_transitions", "count", "repro.core.degradation",
+     "Degradation-ladder level changes"),
+    ("gauge", "soak.ladder_level", "level", "repro.core.degradation",
+     "Current degradation-ladder level (0=NORMAL .. 3=FREEZE)"),
+    ("gauge", "soak.ingress_depth", "events", "repro.simulation.soak",
+     "Ingress-gate queue depth after the latest drain tick"),
+    ("counter", "soak.oracle_solves", "count", "repro.simulation.soak",
+     "Drift-watchdog from-scratch oracle solves"),
+    ("gauge", "soak.oracle_drift", "fraction", "repro.simulation.soak",
+     "Latest relief divergence between ledger and oracle placement"),
+    ("counter", "soak.watchdog_resets", "count", "repro.simulation.soak",
+     "Forced reconvergences triggered by the drift watchdog"),
+    ("gauge", "soak.events_per_min", "events/min", "repro.simulation.soak",
+     "Wall-clock event-application throughput of the latest run"),
+    ("histogram", "soak.event_latency_s", "seconds", "repro.simulation.soak",
+     "Simulated arrival-to-application latency per event"),
+    ("histogram", "soak.run_seconds", "seconds", "repro.simulation.soak",
+     "Wall time of one soak run"),
     # -- topology: CSR adjacency cache ----------------------------------------------
     ("counter", "topology.csr_cache_hits", "count", "repro.topology.graph",
      "csr_adjacency calls answered by the version-keyed cache"),

@@ -11,13 +11,21 @@ from repro.simulation.network_sim import (
     Message,
     MessageNetwork,
 )
-from repro.simulation.profiles import DiurnalProfile, RandomWalkProfile, SpikeProfile
+from repro.simulation.profiles import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    DiurnalProfile,
+    PoissonArrivals,
+    RandomWalkProfile,
+    SpikeProfile,
+)
 from repro.simulation.random import rng_from, spawn_seeds
 from repro.simulation.traffic import GravityTrafficMatrix
 
-# The chaos harness (repro.simulation.chaos) composes this package with
-# repro.core, whose modules import repro.simulation.engine — so its
-# names are loaded lazily (PEP 562) to keep the import graph acyclic.
+# The chaos and soak harnesses compose this package with repro.core,
+# whose modules import repro.simulation.engine — so their names are
+# loaded lazily (PEP 562) to keep the import graph acyclic.
 _CHAOS_EXPORTS = frozenset(
     {
         "ChaosRunResult",
@@ -29,35 +37,66 @@ _CHAOS_EXPORTS = frozenset(
     }
 )
 
+_SOAK_EXPORTS = frozenset(
+    {
+        "IngressGate",
+        "QoSTier",
+        "SoakChaos",
+        "SoakConfig",
+        "SoakEvent",
+        "SoakResult",
+        "StreamSpec",
+        "default_soak_chaos",
+        "run_soak",
+    }
+)
+
 
 def __getattr__(name: str):
     if name in _CHAOS_EXPORTS:
         from repro.simulation import chaos
 
         return getattr(chaos, name)
+    if name in _SOAK_EXPORTS:
+        from repro.simulation import soak
+
+        return getattr(soak, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
     "ChaosRunResult",
     "ChaosScenario",
+    "DiurnalArrivals",
+    "DiurnalProfile",
     "FailureEvent",
     "FailureInjector",
     "FaultConfig",
     "FaultyNetwork",
-    "DiurnalProfile",
     "GravityTrafficMatrix",
+    "IngressGate",
     "LinkFailureEvent",
     "Message",
     "MessageNetwork",
+    "PoissonArrivals",
+    "QoSTier",
     "RandomWalkProfile",
     "ScenarioComparison",
     "ScheduledEvent",
-    "SpikeProfile",
     "SimulationEngine",
+    "SoakChaos",
+    "SoakConfig",
+    "SoakEvent",
+    "SoakResult",
+    "SpikeProfile",
+    "StreamSpec",
     "default_scenario",
+    "default_soak_chaos",
     "evaluate_scenario",
     "rng_from",
     "run_scenario",
+    "run_soak",
     "spawn_seeds",
 ]

@@ -1,0 +1,118 @@
+"""Degradation ladder: escalation, hysteresis, and implied policy."""
+
+import pytest
+
+from repro.core import DegradationLadder, DegradationLevel, LadderConfig
+from repro.errors import SimulationError
+
+CONFIG = LadderConfig(shed_low_at=0.5, widen_at=0.75, freeze_at=0.92,
+                      recover_margin=0.15, widen_factor=2.0)
+
+
+class TestLadderConfig:
+    def test_threshold_per_level(self):
+        assert CONFIG.threshold(DegradationLevel.NORMAL) == 0.0
+        assert CONFIG.threshold(DegradationLevel.SHED_LOW) == 0.5
+        assert CONFIG.threshold(DegradationLevel.WIDEN) == 0.75
+        assert CONFIG.threshold(DegradationLevel.FREEZE) == 0.92
+
+    @pytest.mark.parametrize("bad", [
+        dict(shed_low_at=0.0),
+        dict(freeze_at=1.5),
+        dict(shed_low_at=0.8, widen_at=0.7),
+        dict(widen_at=0.95),  # >= freeze_at
+        dict(recover_margin=0.0),
+        dict(recover_margin=0.6),  # >= shed_low_at
+        dict(widen_factor=0.5),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(SimulationError):
+            LadderConfig(**bad)
+
+
+class TestEscalation:
+    def test_starts_normal(self):
+        ladder = DegradationLadder(CONFIG)
+        assert ladder.level is DegradationLevel.NORMAL
+        assert not ladder.shedding_low_tier
+        assert not ladder.frozen
+
+    def test_escalates_one_rung_at_threshold(self):
+        ladder = DegradationLadder(CONFIG)
+        assert ladder.update(0.49, now=1.0) is DegradationLevel.NORMAL
+        assert ladder.update(0.5, now=2.0) is DegradationLevel.SHED_LOW
+        assert ladder.shedding_low_tier
+        assert not ladder.frozen
+
+    def test_escalates_straight_to_justified_rung(self):
+        """A queue that fills in one tick jumps NORMAL -> FREEZE without
+        visiting the intermediate rungs."""
+        ladder = DegradationLadder(CONFIG)
+        assert ladder.update(0.95, now=1.0) is DegradationLevel.FREEZE
+        assert ladder.frozen
+        assert ladder.transitions == [
+            (1.0, DegradationLevel.NORMAL, DegradationLevel.FREEZE, 0.95)
+        ]
+
+    def test_fill_may_exceed_one_under_overflow(self):
+        ladder = DegradationLadder(CONFIG)
+        assert ladder.update(1.3, now=0.0) is DegradationLevel.FREEZE
+
+    def test_max_level_tracks_high_water_mark(self):
+        ladder = DegradationLadder(CONFIG)
+        ladder.update(0.8, now=0.0)
+        ladder.update(0.1, now=1.0)
+        ladder.update(0.1, now=2.0)
+        assert ladder.level is DegradationLevel.NORMAL
+        assert ladder.max_level is DegradationLevel.WIDEN
+
+
+class TestHysteresis:
+    def test_recovers_one_rung_at_a_time(self):
+        ladder = DegradationLadder(CONFIG)
+        ladder.update(0.95, now=0.0)  # FREEZE
+        # Far below every threshold, yet only one rung down per update.
+        assert ladder.update(0.0, now=1.0) is DegradationLevel.WIDEN
+        assert ladder.update(0.0, now=2.0) is DegradationLevel.SHED_LOW
+        assert ladder.update(0.0, now=3.0) is DegradationLevel.NORMAL
+        assert ladder.update(0.0, now=4.0) is DegradationLevel.NORMAL
+        assert len(ladder.transitions) == 4
+
+    def test_hovering_below_threshold_does_not_flap(self):
+        """Fill just under the engage threshold but above the recovery
+        point keeps the current rung."""
+        ladder = DegradationLadder(CONFIG)
+        ladder.update(0.5, now=0.0)  # SHED_LOW
+        # Recovery point is 0.5 - 0.15 = 0.35.
+        assert ladder.update(0.36, now=1.0) is DegradationLevel.SHED_LOW
+        assert ladder.update(0.49, now=2.0) is DegradationLevel.SHED_LOW
+        assert ladder.update(0.35, now=3.0) is DegradationLevel.NORMAL
+
+    def test_no_transition_recorded_when_level_holds(self):
+        ladder = DegradationLadder(CONFIG)
+        ladder.update(0.1, now=0.0)
+        ladder.update(0.2, now=1.0)
+        assert ladder.transitions == []
+
+
+class TestImpliedPolicy:
+    def test_resolve_period_widens_geometrically(self):
+        ladder = DegradationLadder(CONFIG)
+        assert ladder.resolve_period(30.0) == 30.0
+        ladder.update(0.5, now=0.0)  # SHED_LOW: not widened yet
+        assert ladder.resolve_period(30.0) == 30.0
+        ladder.update(0.75, now=1.0)  # WIDEN
+        assert ladder.resolve_period(30.0) == 60.0
+        ladder.update(0.95, now=2.0)  # FREEZE widens once more
+        assert ladder.resolve_period(30.0) == 120.0
+
+    def test_transition_counter_published(self):
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        before = registry.counter("soak.ladder_transitions").value
+        ladder = DegradationLadder(CONFIG)
+        ladder.update(0.6, now=0.0)
+        ladder.update(0.0, now=1.0)
+        assert registry.counter("soak.ladder_transitions").value - before == 2
+        assert registry.gauge("soak.ladder_level").value == 0.0

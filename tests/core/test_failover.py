@@ -1,6 +1,9 @@
 """Manager failover: snapshot store, standby takeover, resync."""
 
+import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     DUSTClient,
@@ -12,9 +15,11 @@ from repro.core import (
     StandbyManager,
     ThresholdPolicy,
     assignment_signature,
+    audit_system,
 )
 from repro.errors import SimulationError
 from repro.simulation import MessageNetwork, SimulationEngine
+from repro.simulation.network_sim import FaultConfig, FaultyNetwork
 from repro.topology import LinkUtilizationModel, build_fat_tree
 
 POLICY = ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
@@ -35,6 +40,71 @@ class TestSnapshotStore:
         assert store.version == 3
         assert store.load().version == 3
         assert store.saves == 2
+
+    @staticmethod
+    def snap(version):
+        return ManagerSnapshot(
+            version=version, timestamp=float(version), records={},
+            ledger_rows=(), keepalive_watch={},
+        )
+
+    def test_persist_survives_process_restart(self, tmp_path):
+        path = tmp_path / "manager.snap"
+        store = SnapshotStore(path=path)
+        store.save(self.snap(7))
+        # A brand-new store (fresh process) reloads it from disk.
+        reborn = SnapshotStore(path=path)
+        assert reborn.version == 7
+        assert reborn.load().timestamp == 7.0
+        assert reborn.load_failures == 0
+
+    def test_torn_write_leaves_previous_snapshot_loadable(self, tmp_path):
+        """A crash mid-persist (temp file written partially, never
+        renamed) must not poison standby takeover: the previous good
+        snapshot is still what loads."""
+        path = tmp_path / "manager.snap"
+        store = SnapshotStore(path=path)
+        store.save(self.snap(4))
+        # Simulate the torn write: a partial record in the temp file.
+        good = path.read_bytes()
+        (tmp_path / "manager.snap.tmp").write_bytes(good[: len(good) // 2])
+        reborn = SnapshotStore(path=path)
+        assert reborn.version == 4
+        assert reborn.load_failures == 0
+
+    def test_corrupted_file_detected_and_treated_as_absent(self, tmp_path):
+        from repro.obs.registry import get_registry
+
+        path = tmp_path / "manager.snap"
+        store = SnapshotStore(path=path)
+        store.save(self.snap(4))
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a payload byte: CRC must catch it
+        path.write_bytes(bytes(raw))
+        before = get_registry().counter("failover.snapshot_load_failures").value
+        reborn = SnapshotStore(path=path)
+        assert reborn.load() is None
+        assert reborn.version == -1
+        assert reborn.load_failures == 1
+        assert get_registry().counter("failover.snapshot_load_failures").value - before == 1
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "manager.snap"
+        store = SnapshotStore(path=path)
+        store.save(self.snap(2))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 3])  # short payload
+        reborn = SnapshotStore(path=path)
+        assert reborn.load() is None
+        assert reborn.load_failures == 1
+
+    def test_newer_save_overwrites_on_disk(self, tmp_path):
+        path = tmp_path / "manager.snap"
+        store = SnapshotStore(path=path)
+        store.save(self.snap(1))
+        store.save(self.snap(5))
+        store.save(self.snap(3))  # regression: not persisted either
+        assert SnapshotStore(path=path).version == 5
 
 
 def build_system(crash_at=None, run_to=900.0):
@@ -222,3 +292,72 @@ class TestResync:
         assert manager.counters.resync_recovered == 0
         assert manager.counters.orphans_reclaimed == 1
         assert not manager.ledger.active
+
+
+class TestTakeoverConsistencyProperty:
+    """Satellite invariant: no offload is double-applied or lost across
+    a StandbyManager takeover on a 20%-lossy fabric with retransmissions
+    still in flight at the moment of the crash."""
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        hot=st.sets(st.integers(min_value=4, max_value=19), min_size=1, max_size=4),
+        crash_at=st.floats(min_value=120.0, max_value=400.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_no_offload_double_applied_or_lost(self, hot, crash_at, seed):
+        topology = build_fat_tree(4)
+        LinkUtilizationModel(0.2, 0.7, seed=seed).apply(topology)
+        engine = SimulationEngine()
+        network = FaultyNetwork(
+            topology, engine,
+            faults=FaultConfig(drop_probability=0.20), seed=seed,
+        )
+        store = SnapshotStore()
+        manager_kwargs = dict(
+            update_interval_s=15.0, optimization_period_s=30.0,
+            keepalive_timeout_s=45.0, retry_policy=RETRY,
+        )
+        primary = DUSTManager(
+            node_id=0, topology=topology, engine=engine, network=network,
+            policy=POLICY, snapshot_store=store, standby_node=1,
+            heartbeat_period_s=10.0, **manager_kwargs,
+        )
+        primary.start()
+        standby = StandbyManager(
+            node_id=1, topology=topology, engine=engine, network=network,
+            policy=POLICY, snapshot_store=store, primary_node=0,
+            takeover_silence_s=30.0, check_period_s=10.0,
+            manager_kwargs=manager_kwargs,
+        )
+        standby.start()
+        rng = np.random.default_rng(seed)
+        clients = {}
+        for node in range(2, topology.num_nodes):
+            clients[node] = DUSTClient(
+                node_id=node, engine=engine, network=network, manager_node=0,
+                policy=POLICY,
+                base_capacity=92.0 if node in hot else float(rng.uniform(15, 40)),
+                data_mb=10.0, retry_policy=RETRY,
+            )
+            clients[node].start()
+        # Crash mid-traffic: the lossy fabric guarantees retransmission
+        # timers are pending at essentially any crash instant.
+        engine.schedule_at(crash_at, lambda engine: primary.crash())
+        engine.run_until(crash_at + 600.0)
+
+        assert standby.promoted
+        active = standby.manager
+        # The promoted ledger and the live client state must agree
+        # exactly: nothing applied twice, nothing silently dropped.
+        report = audit_system(active, clients)
+        assert report.clean, report.violations
+        # And the promoted manager's books balance against both sides.
+        ledger_total = sum(o.amount_pct for o in active.ledger.active)
+        hosted_total = sum(c.hosted_amount for c in clients.values() if c.alive)
+        offloaded_total = sum(
+            c.offloaded_amount for c in clients.values() if c.alive
+        )
+        assert hosted_total == pytest.approx(ledger_total, abs=1e-6)
+        assert offloaded_total == pytest.approx(ledger_total, abs=1e-6)

@@ -59,6 +59,89 @@ class TestRetryPolicy:
         assert [policy.timeout_for(a) for a in range(4)] == [1.0, 2.0, 4.0, 4.0]
 
 
+class TestDecorrelatedJitter:
+    """Retry storms must decorrelate: jittered timeouts differ across
+    senders but are fully deterministic under (seed, node_id)."""
+
+    JITTERED = RetryPolicy(
+        base_timeout_s=1.0, backoff=2.0, max_timeout_s=8.0, max_retries=4,
+        jitter=0.5,
+    )
+
+    def make_sender(self, node_id=0, seed=0, policy=None):
+        topology = build_line(3)
+        engine = SimulationEngine()
+        network = MessageNetwork(topology, engine)
+        sender = ReliableSender(
+            network, engine, node_id=node_id, policy=policy or self.JITTERED,
+            seed=seed,
+        )
+        return sender, engine, network
+
+    def send_and_collect_timeouts(self, sender, engine):
+        """Fire a full retry budget into the void, spying on every
+        timeout draw (the budget's worth plus the initial arm)."""
+        payload = OffloadRequest(destination=1, source=sender.node_id,
+                                 amount_pct=5.0, data_mb=1.0, route=(0, 1))
+        drawn = []
+        original = sender._timeout_for
+
+        def spying(entry):
+            timeout = original(entry)
+            drawn.append(timeout)
+            return timeout
+
+        sender._timeout_for = spying
+        sender.send(1, payload)
+        engine.run_until(200.0)
+        return drawn
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_jittered_timeouts_stay_inside_envelope(self):
+        """Each drawn timeout lives in the decorrelated-jitter window
+        [base, min(max, prev*backoff)] — and within the configured
+        jitter fraction of its top."""
+        sender, engine, _ = self.make_sender()
+        gaps = self.send_and_collect_timeouts(sender, engine)
+        assert len(gaps) == self.JITTERED.max_retries + 1
+        prev = self.JITTERED.base_timeout_s
+        for gap in gaps:
+            cap = min(self.JITTERED.max_timeout_s,
+                      max(self.JITTERED.base_timeout_s, prev * self.JITTERED.backoff))
+            low = self.JITTERED.base_timeout_s + (1.0 - self.JITTERED.jitter) * (
+                cap - self.JITTERED.base_timeout_s
+            )
+            assert low - 1e-9 <= gap <= cap + 1e-9
+            prev = gap
+
+    def test_deterministic_under_seed_and_node(self):
+        first, e1, _ = self.make_sender(node_id=4, seed=7)
+        second, e2, _ = self.make_sender(node_id=4, seed=7)
+        assert self.send_and_collect_timeouts(first, e1) == (
+            self.send_and_collect_timeouts(second, e2)
+        )
+
+    def test_distinct_nodes_decorrelate(self):
+        a, ea, _ = self.make_sender(node_id=1, seed=7)
+        b, eb, _ = self.make_sender(node_id=2, seed=7)
+        assert self.send_and_collect_timeouts(a, ea) != (
+            self.send_and_collect_timeouts(b, eb)
+        )
+
+    def test_zero_jitter_is_byte_identical_to_deterministic_backoff(self):
+        """jitter=0 must not even draw from the RNG: the schedule is
+        exactly the old deterministic exponential-backoff ladder."""
+        sender, engine, _ = self.make_sender(policy=FAST_RETRY)
+        gaps = self.send_and_collect_timeouts(sender, engine)
+        assert gaps == [FAST_RETRY.timeout_for(a) for a in range(len(gaps))]
+        assert sender._jitter_rng is None
+
+
 class TestDedupCache:
     def test_duplicate_detection_and_reply_replay(self):
         cache = DedupCache()
@@ -85,6 +168,53 @@ class TestDedupCache:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             DedupCache(capacity=0)
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            DedupCache(ttl_s=0.0, clock=lambda: 0.0)
+        with pytest.raises(ValueError, match="clock"):
+            DedupCache(ttl_s=10.0)
+
+    def test_ttl_expiration(self):
+        from repro.obs.registry import get_registry
+
+        clock = {"now": 0.0}
+        cache = DedupCache(ttl_s=10.0, clock=lambda: clock["now"])
+        before = get_registry().counter("transport.dedup_ttl_expirations").value
+        cache.remember(1, 1, "r")
+        clock["now"] = 9.0
+        assert cache.check(1, 1) == (True, "r")  # still fresh (and touched)
+        clock["now"] = 18.0
+        assert cache.check(1, 1) == (True, "r")  # touch at t=9 reset the TTL
+        clock["now"] = 29.0
+        assert cache.check(1, 1) == (False, None)  # untouched for > ttl
+        assert cache.ttl_expirations == 1
+        after = get_registry().counter("transport.dedup_ttl_expirations").value
+        assert after - before == 1
+
+    def test_ttl_expires_oldest_batch(self):
+        clock = {"now": 0.0}
+        cache = DedupCache(ttl_s=5.0, clock=lambda: clock["now"])
+        cache.remember(1, 1)
+        cache.remember(1, 2)
+        clock["now"] = 4.0
+        cache.remember(1, 3)
+        clock["now"] = 6.0
+        cache.remember(1, 4)  # sweeps msg 1 and 2, keeps 3
+        assert cache.ttl_expirations == 2
+        assert len(cache) == 2
+        assert cache.check(1, 3)[0] is True
+
+    def test_lru_eviction_counter(self):
+        from repro.obs.registry import get_registry
+
+        before = get_registry().counter("transport.dedup_lru_evictions").value
+        cache = DedupCache(capacity=2)
+        for msg_id in range(4):
+            cache.remember(1, msg_id)
+        assert cache.lru_evictions == 2
+        after = get_registry().counter("transport.dedup_lru_evictions").value
+        assert after - before == 2
 
 
 class TestReliableSender:

@@ -65,3 +65,33 @@ class TestOverheadStudy:
         )
         firsts = [row[3] for row in result.rows]
         assert firsts[0] <= firsts[1]
+
+
+class TestSoakStudy:
+    def test_registered_as_extra(self):
+        assert get_experiment("soak").experiment_id == "soak"
+        assert "soak" not in [e.experiment_id for e in all_experiments()]
+
+    def test_quick_run_and_json_artifact(self, tmp_path):
+        path = tmp_path / "soak.json"
+        result = run_experiment("soak", quick=True, json_path=str(path))
+        assert result.experiment_id == "soak"
+        # quick params: one seed, calm + chaos rows.
+        assert len(result.rows) == 2
+        modes = [row[1] for row in result.rows]
+        assert modes == ["calm", "chaos"]
+        for row in result.rows:
+            assert row[8] == 0  # prod shed
+            assert row[9] == pytest.approx(0.0)  # prod loss MB
+
+        import json
+
+        artifact = json.loads(path.read_text())
+        assert {r["mode"] for r in artifact["runs"]} == {"calm", "chaos"}
+        for record in artifact["runs"]:
+            assert record["events_per_min"] >= 1e5
+            assert record["production_losses"] == 0
+        chaos = [r for r in artifact["runs"] if r["mode"] == "chaos"][0]
+        assert chaos["manager_took_over_at"] is not None
+        assert chaos["final_drift"] <= 0.5
+        assert "observability" in artifact

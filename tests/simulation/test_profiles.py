@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation import DiurnalProfile, RandomWalkProfile, SpikeProfile
+from repro.simulation import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    DiurnalProfile,
+    PoissonArrivals,
+    RandomWalkProfile,
+    SpikeProfile,
+)
 
 
 class TestDiurnal:
@@ -132,3 +139,74 @@ class TestProfilesDriveClients:
         engine.run_until(3200.0)  # past the trough at t=2700
         assert clients[5].offloaded_amount == 0, "trough should reclaim"
         assert manager.counters.reclaims_issued >= 1
+
+
+class TestArrivalProcesses:
+    def test_poisson_monotone_and_deterministic(self):
+        a = PoissonArrivals(rate_per_s=5.0, seed=11)
+        b = PoissonArrivals(rate_per_s=5.0, seed=11)
+        times = a.take(500)
+        assert times == b.take(500)
+        assert all(x < y for x, y in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_poisson_rate_approximately_honoured(self):
+        process = PoissonArrivals(rate_per_s=10.0, seed=0)
+        times = process.take(5000)
+        empirical = len(times) / times[-1]
+        assert empirical == pytest.approx(10.0, rel=0.1)
+
+    def test_poisson_seeds_decorrelate(self):
+        assert PoissonArrivals(5.0, seed=1).take(10) != PoissonArrivals(5.0, seed=2).take(10)
+
+    def test_diurnal_rate_peaks_and_troughs(self):
+        process = DiurnalArrivals(base_rate_per_s=2.0, swing=0.5, period_s=100.0)
+        assert process.rate_at(25.0) == pytest.approx(3.0)   # peak
+        assert process.rate_at(75.0) == pytest.approx(1.0)   # trough
+        assert process.rate_at(0.0) == pytest.approx(2.0)
+
+    def test_diurnal_thinning_tracks_intensity(self):
+        """More arrivals land in the peak half-period than the trough."""
+        process = DiurnalArrivals(base_rate_per_s=20.0, swing=0.8,
+                                  period_s=200.0, seed=3)
+        times = [t for t in process.take(4000) if t < 200.0]
+        peak_half = sum(1 for t in times if t < 100.0)
+        trough_half = len(times) - peak_half
+        assert peak_half > 2.0 * trough_half
+
+    def test_diurnal_deterministic(self):
+        a = DiurnalArrivals(1.0, seed=4)
+        b = DiurnalArrivals(1.0, seed=4)
+        assert a.take(100) == b.take(100)
+
+    def test_bursty_regimes_change_rate(self):
+        """Inter-arrival gaps inside bursts are visibly tighter."""
+        process = BurstyArrivals(calm_rate_per_s=1.0, burst_rate_per_s=50.0,
+                                 mean_calm_s=50.0, mean_burst_s=20.0, seed=2)
+        gaps_by_regime = {True: [], False: []}
+        previous = 0.0
+        for _ in range(3000):
+            t = process.next_arrival()
+            gaps_by_regime[process.bursting].append(t - previous)
+            previous = t
+        assert gaps_by_regime[True] and gaps_by_regime[False]
+        assert np.mean(gaps_by_regime[True]) < np.mean(gaps_by_regime[False]) / 5.0
+
+    def test_bursty_monotone_and_deterministic(self):
+        a = BurstyArrivals(2.0, 40.0, seed=9)
+        b = BurstyArrivals(2.0, 40.0, seed=9)
+        times = a.take(1000)
+        assert times == b.take(1000)
+        assert all(x < y for x, y in zip(times, times[1:]))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PoissonArrivals(rate_per_s=0.0)
+        with pytest.raises(SimulationError):
+            DiurnalArrivals(base_rate_per_s=1.0, swing=1.0)
+        with pytest.raises(SimulationError):
+            DiurnalArrivals(base_rate_per_s=1.0, period_s=0.0)
+        with pytest.raises(SimulationError):
+            BurstyArrivals(calm_rate_per_s=5.0, burst_rate_per_s=1.0)
+        with pytest.raises(SimulationError):
+            BurstyArrivals(1.0, 10.0, mean_calm_s=0.0)
