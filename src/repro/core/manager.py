@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -169,6 +169,8 @@ class DUSTManager:
         transport_seed: int = 0,
         on_admission: Optional[Callable[[int], None]] = None,
         on_eviction: Optional[Callable[[int], None]] = None,
+        solve_mode: str = "centralized",
+        zones: Optional[Sequence["object"]] = None,
     ) -> None:
         self.node_id = node_id
         self.topology = topology
@@ -184,6 +186,32 @@ class DUSTManager:
         # round warm-starts the LP from the previous round's basis (and
         # keeps hitting the engine's incremental route cache).
         self.placement_session = PlacementSession(engine=self.placement_engine)
+        # Alternative solve mode: decompose each round's Eq. 3 solve
+        # across zone managers (repro.lp.distributed). Same optimum as
+        # the centralized session — the zones split the pricing work.
+        if solve_mode not in ("centralized", "distributed"):
+            raise ProtocolError(
+                f"unknown solve_mode {solve_mode!r}; expected "
+                "'centralized' or 'distributed'"
+            )
+        self.solve_mode = solve_mode
+        self.distributed_engine = None
+        if solve_mode == "distributed":
+            from repro.core.zoning import (
+                DistributedPlacementEngine,
+                partition_bfs,
+                partition_by_pod,
+            )
+            from repro.errors import TopologyError
+
+            if zones is None:
+                try:
+                    zones = partition_by_pod(topology)
+                except TopologyError:
+                    zones = partition_bfs(topology)
+            self.distributed_engine = DistributedPlacementEngine(
+                zones=zones, engine=self.placement_engine
+            )
         self.workers = workers
         self.update_interval_s = update_interval_s
         self.optimization_period_s = optimization_period_s
@@ -832,7 +860,10 @@ class DUSTManager:
             data_mb=snapshot.data_mb[busy],
             max_hops=self.max_hops,
         )
-        report = self.placement_session.solve(problem)
+        if self.distributed_engine is not None:
+            report = self.distributed_engine.solve(problem)
+        else:
+            report = self.placement_session.solve(problem)
         self.placement_history.append(report)
         assignments = report.assignments
         if not report.feasible:
@@ -1016,6 +1047,8 @@ class DUSTManager:
                 self._send_ctrl(offload.destination, reclaim)
                 self._send_ctrl(offload.source, reclaim)
         self.placement_session.reset()
+        if self.distributed_engine is not None:
+            self.distributed_engine.reset()
         self.counters.placements_reset += 1
         self._persist()
         return rows

@@ -32,8 +32,10 @@ from repro.core.placement import (
     PlacementEngine,
     PlacementProblem,
     PlacementReport,
+    PlacementSession,
 )
 from repro.errors import PlacementError, TopologyError
+from repro.lp.distributed import DistributedSolveResult, ZoneWorker, run_protocol
 from repro.parallel import map_with_pool_retry, resolve_workers
 from repro.topology.graph import NodeKind, Topology
 
@@ -125,6 +127,85 @@ def partition_bfs(topology: Topology, max_zone_nodes: int = 80) -> List[Zone]:
                 assigned[node] = -1
         zones.append(Zone(zone_id=zone_id, nodes=tuple(sorted(members))))
     return zones
+
+
+def zone_boundaries(
+    topology: Topology, zones: Sequence[Zone]
+) -> Dict[int, Tuple[int, ...]]:
+    """Boundary node sets: per zone, the members with an edge out.
+
+    A node is on its zone's boundary when at least one topology
+    neighbor belongs to a different zone — these are the nodes whose
+    offload lanes the distributed solve's price exchange actually has
+    to negotiate (interior lanes are settled by the zone's local
+    presolve).
+
+    Parameters
+    ----------
+    topology : Topology
+        The fabric the zones partition.
+    zones : sequence of Zone
+        A valid partition (see :func:`validate_partition`).
+
+    Returns
+    -------
+    dict of int to tuple of int
+        ``zone_id -> sorted boundary node ids``.
+    """
+    owner: Dict[int, int] = {}
+    for zone in zones:
+        for node in zone.nodes:
+            owner[node] = zone.zone_id
+    boundaries: Dict[int, Tuple[int, ...]] = {}
+    for zone in zones:
+        edge_nodes = [
+            node
+            for node in zone.nodes
+            if any(owner.get(nbr) != zone.zone_id for nbr in topology.neighbors(node))
+        ]
+        boundaries[zone.zone_id] = tuple(sorted(edge_nodes))
+    return boundaries
+
+
+def zone_relief_views(
+    zones: Sequence[Zone], assignments: Sequence["PlacementAssignment"]
+) -> List[Dict[int, float]]:
+    """Split one placement's relief into per-zone partial views.
+
+    Each view maps ``busy source -> relieved amount_pct`` for the
+    sources owned by that zone. Merging the views with
+    :func:`~repro.core.metrics.merge_partial_relief` reproduces the
+    single-manager ``relief_by_source`` reading exactly, which is what
+    lets the soak drift watchdog score a distributed placement with the
+    same :func:`~repro.core.metrics.relief_divergence` it uses for a
+    centralized one.
+
+    Parameters
+    ----------
+    zones : sequence of Zone
+        The zone partition the solve ran under.
+    assignments : sequence of PlacementAssignment
+        The placement's flows (e.g. ``report.assignments``).
+
+    Returns
+    -------
+    list of dict of int to float
+        One ``{source: amount}`` view per zone, in ``zones`` order.
+        Sources outside every zone raise
+        :class:`~repro.errors.PlacementError`.
+    """
+    owner: Dict[int, int] = {}
+    for index, zone in enumerate(zones):
+        for node in zone.nodes:
+            owner[node] = index
+    views: List[Dict[int, float]] = [{} for _ in zones]
+    for assignment in assignments:
+        source = int(assignment.busy)
+        if source not in owner:
+            raise PlacementError(f"assignment source {source} belongs to no zone")
+        view = views[owner[source]]
+        view[source] = view.get(source, 0.0) + float(assignment.amount_pct)
+    return views
 
 
 def validate_partition(topology: Topology, zones: Sequence[Zone]) -> None:
@@ -299,3 +380,318 @@ class ZonedPlacementEngine:
         if reports is None:
             return [self.engine.solve(p) for p in problems]
         return reports
+
+
+@dataclass(frozen=True)
+class DistributedPlacementReport(PlacementReport):
+    """A :class:`~repro.core.placement.PlacementReport` solved by the
+    distributed protocol, with the protocol's statistics attached.
+
+    Drop-in wherever a ``PlacementReport`` is expected (the manager's
+    history, divergence metrics, experiment tables); the extra fields
+    describe the coordination work.
+
+    Attributes
+    ----------
+    zones : int
+        Participating zone managers.
+    rounds : int
+        Price-exchange epochs until termination.
+    pivots : int
+        Coordinator pivots across all rounds.
+    gap : float
+        Certified relative duality gap at termination.
+    dsolve_messages : int
+        Protocol messages exchanged.
+    local_objective : float
+        Sum of feasible zones' presolve objectives (the no-cross-zone
+        baseline; ``nan`` when no zone presolved).
+    presolve_warm_hits : int
+        Zones whose local presolve warm-started from a previous round.
+    coordinator_seconds : float
+        Coordinator-side merge/pivot wall time.
+    zone_seconds : dict of int to float
+        Per-zone wall time (Trmin pricing + presolve + lane pricing).
+    critical_path_seconds : float
+        Modeled parallel wall-clock — coordinator time plus the
+        slowest zone, the same reading as
+        :attr:`ZonedPlacementReport.max_zone_seconds`.
+    boundary_sizes : dict of int to int
+        Per-zone boundary-node counts (see :func:`zone_boundaries`).
+    """
+
+    zones: int = 0
+    rounds: int = 0
+    pivots: int = 0
+    gap: float = float("nan")
+    dsolve_messages: int = 0
+    local_objective: float = float("nan")
+    presolve_warm_hits: int = 0
+    coordinator_seconds: float = 0.0
+    zone_seconds: Dict[int, float] = field(default_factory=dict)
+    critical_path_seconds: float = 0.0
+    boundary_sizes: Dict[int, int] = field(default_factory=dict)
+
+
+class DistributedPlacementEngine:
+    """Zone-decomposed Eq. 3 placement: one solve, many zone managers.
+
+    Unlike :class:`ZonedPlacementEngine` — which forbids inter-zone
+    offloading and accepts the stranded-excess cost — this engine
+    reaches the *global* optimum: each zone manager prices its own busy
+    rows (the Θ(m_z·n) Trmin + reduced-cost work, which dominates) and
+    solves its local subproblem through a per-zone warm-started
+    :class:`~repro.core.placement.PlacementSession`, while the thin
+    coordinator from :mod:`repro.lp.distributed` merges the zone bases
+    and exchanges consensus prices until no zone can improve. The
+    returned objective equals the centralized
+    :class:`~repro.core.placement.PlacementEngine` solve on the same
+    problem (same LP optimum, different pivot order).
+
+    Parameters
+    ----------
+    zones : sequence of Zone
+        The zone partition (must cover the topology; see
+        :func:`validate_partition`).
+    engine : PlacementEngine, optional
+        Supplies the Trmin engine, response model and LP backend for
+        the local presolves. A route-less engine is built when omitted.
+    price_rule : str
+        ``"block"`` or ``"dantzig"`` — the coordinator's
+        price-coordination rule (see
+        :class:`~repro.lp.distributed.DistributedCoordinator`).
+    gap_tol : float, optional
+        Early-termination bound on the certified relative duality gap;
+        ``None`` iterates to exact optimality.
+    max_rounds : int
+        Safety bound on price-exchange epochs.
+    max_bids : int
+        Lane bids per zone per epoch under the ``block`` rule.
+    """
+
+    def __init__(
+        self,
+        zones: Sequence[Zone],
+        engine: Optional[PlacementEngine] = None,
+        price_rule: str = "block",
+        gap_tol: Optional[float] = None,
+        max_rounds: int = 10_000,
+        max_bids: int = 16,
+    ) -> None:
+        if not zones:
+            raise PlacementError("DistributedPlacementEngine needs at least one zone")
+        self.zones = list(zones)
+        self.engine = engine or PlacementEngine(with_routes=False)
+        self.price_rule = price_rule
+        self.gap_tol = gap_tol
+        self.max_rounds = max_rounds
+        self.max_bids = max_bids
+        # One session per zone: each zone's local subproblem keeps its
+        # own warm basis across optimization rounds (PR 2's cheap
+        # re-solves), while the shared engine keeps one route cache.
+        self._sessions: Dict[int, PlacementSession] = {
+            z.zone_id: PlacementSession(engine=self.engine) for z in self.zones
+        }
+
+    def reset(self) -> None:
+        """Drop all per-zone warm bases (route cache unaffected)."""
+        for session in self._sessions.values():
+            session.reset()
+
+    def _presolve_zone(
+        self,
+        zone: Zone,
+        problem: PlacementProblem,
+        rows: List[int],
+        cols: List[int],
+        trmin_rows: np.ndarray,
+    ) -> Tuple[Tuple, float]:
+        """Local warm-started solve of one zone's own block.
+
+        Returns the ``(cells, objective, feasible, warm_started)``
+        tuple :class:`~repro.lp.distributed.ZoneWorker` expects, plus
+        the presolve's wall time. A zone whose excess exceeds its own
+        spare capacity presolves a supply-clipped variant (the tree is
+        what matters; the coordinator restores real supplies) and is
+        marked locally infeasible.
+        """
+        start = time.perf_counter()
+        if not rows or not cols:
+            feasible = not rows or float(problem.cs[rows].sum()) <= _TOL
+            return ((), float("nan"), feasible, False), time.perf_counter() - start
+        zone_busy = tuple(problem.busy[i] for i in rows)
+        zone_cands = tuple(problem.candidates[j] for j in cols)
+        cs = problem.cs[rows]
+        cd = problem.cd[cols]
+        total_s, total_d = float(cs.sum()), float(cd.sum())
+        clipped = total_s > total_d + _TOL
+        if clipped:
+            if total_d <= _TOL:
+                return ((), float("nan"), False, False), time.perf_counter() - start
+            cs = cs * (total_d / total_s) * (1.0 - 1e-12)
+        local = PlacementProblem(
+            topology=problem.topology,
+            busy=zone_busy,
+            candidates=zone_cands,
+            cs=cs,
+            cd=cd,
+            data_mb=problem.data_mb[rows],
+            max_hops=problem.max_hops,
+        )
+        report = self._sessions[zone.zone_id].solve(local)
+        cells: List[Tuple[int, int, float]] = []
+        if report.status.is_optimal and report.lp_basis is not None:
+            for a, b in getattr(report.lp_basis, "cells", ()):
+                if a >= len(rows):  # local dummy row
+                    continue
+                cells.append((rows[a], cols[b], float(trmin_rows[a, cols[b]])))
+        feasible = report.feasible and not clipped
+        objective = report.objective_beta if report.feasible else float("nan")
+        elapsed = time.perf_counter() - start
+        return (tuple(cells), objective, feasible, report.lp_warm_started), elapsed
+
+    def solve(self, problem: PlacementProblem) -> DistributedPlacementReport:
+        """Solve one placement instance via the distributed protocol.
+
+        Parameters
+        ----------
+        problem : PlacementProblem
+            Same contract as :meth:`PlacementEngine.solve`. Must be
+            continuous and homogeneous — the distributed protocol
+            speaks the transportation form (the paper's Eq. 3 case).
+
+        Returns
+        -------
+        DistributedPlacementReport
+            Globally optimal assignments (identical objective to the
+            centralized solve) plus protocol statistics. Routes are not
+            attached; pair with the response model to materialize them.
+        """
+        if problem.integral or problem.capacity_coefficients is not None:
+            raise PlacementError(
+                "distributed placement requires the continuous homogeneous "
+                "(transportation) form; integral or heterogeneous problems "
+                "must use the centralized engine"
+            )
+        validate_partition(problem.topology, self.zones)
+        start = time.perf_counter()
+        model = self.engine._model_for(problem)
+        m, n = len(problem.busy), len(problem.candidates)
+
+        owner: Dict[int, int] = {}
+        for zone in self.zones:
+            for node in zone.nodes:
+                owner[node] = zone.zone_id
+        rows_of: Dict[int, List[int]] = {z.zone_id: [] for z in self.zones}
+        cols_of: Dict[int, List[int]] = {z.zone_id: [] for z in self.zones}
+        for i, b in enumerate(problem.busy):
+            rows_of[owner[b]].append(i)
+        for j, c in enumerate(problem.candidates):
+            cols_of[owner[c]].append(j)
+
+        # Phase 0+1 per zone: full-width Trmin rows, then the local
+        # warm-started presolve. Both are zone-side work.
+        workers: List[ZoneWorker] = []
+        trmin_seconds: Dict[int, float] = {}
+        presolve_seconds: Dict[int, float] = {}
+        full_trmin = np.zeros((m, n))
+        full_hops = np.zeros((m, n), dtype=int)
+        all_cands = list(problem.candidates)
+        for zone in self.zones:
+            rows = rows_of[zone.zone_id]
+            cols = cols_of[zone.zone_id]
+            t0 = time.perf_counter()
+            if rows and n:
+                trmin_rows, hops_rows, _ = self.engine.trmin_engine.trmin_matrix(
+                    problem.topology,
+                    [problem.busy[i] for i in rows],
+                    all_cands,
+                    problem.data_mb[rows],
+                    with_paths=False,
+                    model=model,
+                )
+                full_trmin[rows, :] = trmin_rows
+                full_hops[rows, :] = hops_rows
+            else:
+                trmin_rows = np.zeros((len(rows), n))
+            trmin_seconds[zone.zone_id] = time.perf_counter() - t0
+            presolved, presolve_s = self._presolve_zone(
+                zone, problem, rows, cols, trmin_rows
+            )
+            presolve_seconds[zone.zone_id] = presolve_s
+            workers.append(
+                ZoneWorker(
+                    zone_id=zone.zone_id,
+                    rows=rows,
+                    cols=cols,
+                    cost_rows=trmin_rows,
+                    supplies=problem.cs[rows],
+                    capacities=problem.cd[cols],
+                    presolved=presolved,
+                )
+            )
+
+        result: DistributedSolveResult = run_protocol(
+            workers,
+            price_rule=self.price_rule,
+            gap_tol=self.gap_tol,
+            max_rounds=self.max_rounds,
+            max_bids=self.max_bids,
+        )
+
+        assignments: List[PlacementAssignment] = []
+        if result.status.is_optimal:
+            for i, j in zip(*np.nonzero(result.flow > _TOL)):
+                assignments.append(
+                    PlacementAssignment(
+                        busy=problem.busy[int(i)],
+                        candidate=problem.candidates[int(j)],
+                        amount_pct=float(result.flow[i, j]),
+                        response_time_s=float(full_trmin[i, j]),
+                        hops=int(full_hops[i, j]),
+                    )
+                )
+
+        zone_totals = {
+            z.zone_id: trmin_seconds[z.zone_id]
+            + presolve_seconds[z.zone_id]
+            + result.zone_seconds.get(z.zone_id, 0.0)
+            for z in self.zones
+        }
+        boundary_sizes = {
+            zone_id: len(nodes)
+            for zone_id, nodes in zone_boundaries(problem.topology, self.zones).items()
+        }
+        return DistributedPlacementReport(
+            status=result.status,
+            objective_beta=(
+                float(result.objective) if result.status.is_optimal else float("nan")
+            ),
+            assignments=tuple(assignments),
+            trmin_seconds=float(sum(trmin_seconds.values())),
+            lp_seconds=float(
+                sum(presolve_seconds.values())
+                + sum(result.zone_seconds.values())
+                + result.coordinator_seconds
+            ),
+            total_seconds=time.perf_counter() - start,
+            lp_backend=self.engine.lp_backend,
+            path_engine=model.engine,
+            max_hops=problem.max_hops,
+            total_excess=problem.total_excess,
+            total_spare=problem.total_spare,
+            lp_warm_started=result.presolve_warm_hits > 0,
+            lp_iterations=result.pivots,
+            zones=len(self.zones),
+            rounds=result.rounds,
+            pivots=result.pivots,
+            gap=result.gap,
+            dsolve_messages=result.messages,
+            local_objective=result.local_objective,
+            presolve_warm_hits=result.presolve_warm_hits,
+            coordinator_seconds=result.coordinator_seconds,
+            zone_seconds=zone_totals,
+            critical_path_seconds=result.coordinator_seconds
+            + (max(zone_totals.values()) if zone_totals else 0.0),
+            boundary_sizes=boundary_sizes,
+        )

@@ -110,15 +110,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             entry_overrides.pop("iterations")
         if eid in ("fig10", "fig11", "fig12") and args.workers is not None:
             entry_overrides["workers"] = args.workers
-        if eid not in ("resilience", "soak"):
+        if eid not in ("resilience", "soak", "distributed"):
             entry_overrides.pop("json_path", None)
         result = run_experiment(eid, quick=args.quick, **entry_overrides)
         results.append(result)
         print(result.to_text())
         print()
-    if args.json is not None and ids not in (["resilience"], ["soak"]):
-        # Resilience and soak alone write their own metrics files; every
-        # other run gets the generic results dump.
+    if args.json is not None and ids not in (["resilience"], ["soak"], ["distributed"]):
+        # Resilience, soak and distributed write their own metrics files;
+        # every other run gets the generic results dump.
         _write_results_json(results, args.json)
         print(f"json written to {args.json}")
     if args.output:

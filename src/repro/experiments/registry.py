@@ -8,6 +8,7 @@ from typing import Callable, Dict, Tuple
 from repro.errors import ReproError
 from repro.experiments import (
     extra_convention,
+    extra_distributed,
     extra_hops,
     extra_overhead,
     extra_resilience,
@@ -102,6 +103,11 @@ _register(ExperimentEntry(
 _register(ExperimentEntry(
     "soak", "Soak: sustained churn + composed chaos against the manager (extra)",
     extra_soak.run, {"seeds": (0,), "horizon_s": 300.0},
+))
+_register(ExperimentEntry(
+    "distributed",
+    "Distributed placement solve vs centralized LP (extra)",
+    extra_distributed.run, {"ks": (16,)},
 ))
 
 #: Paper figures, in publication order (the `all` target).

@@ -9,6 +9,9 @@ This package replaces the Gurobi toolkit used by the paper's simulator:
   (the placement LP's native structure).
 * :mod:`repro.lp.scipy_backend` — HiGHS via scipy.
 * :mod:`repro.lp.branch_and_bound` — exact MILP on top of the simplex.
+* :mod:`repro.lp.distributed` — zone-decomposed transportation solve
+  with a thin price-exchange coordinator (see
+  ``docs/distributed_solve.md``).
 
 Use :func:`solve` for backend dispatch by name.
 """
@@ -35,12 +38,29 @@ from repro.lp.transportation import (
     TransportationResult,
     solve_transportation,
 )
+from repro.lp.distributed import (
+    DistributedCoordinator,
+    DistributedSolveResult,
+    FlowAssignment,
+    LaneBids,
+    PriceUpdate,
+    ZoneProfile,
+    ZoneWorker,
+    extract_zone_subproblems,
+    run_protocol,
+    solve_distributed,
+)
 
 __all__ = [
     "INF",
     "Constraint",
+    "DistributedCoordinator",
+    "DistributedSolveResult",
+    "FlowAssignment",
+    "LaneBids",
     "LinExpr",
     "LinearProgram",
+    "PriceUpdate",
     "SimplexBasis",
     "Solution",
     "SolveStatus",
@@ -49,13 +69,18 @@ __all__ = [
     "TransportationResult",
     "Variable",
     "Verification",
+    "ZoneProfile",
+    "ZoneWorker",
     "check_feasibility",
     "duality_gap_bound",
     "verify_solution",
     "available_backends",
+    "extract_zone_subproblems",
     "lp_sum",
+    "run_protocol",
     "solve",
     "solve_branch_and_bound",
+    "solve_distributed",
     "solve_scipy",
     "solve_simplex",
     "solve_transportation",

@@ -3,6 +3,12 @@
 from __future__ import annotations
 
 from repro.simulation.failures import FailureEvent, FailureInjector, LinkFailureEvent
+from repro.simulation.distributed import (
+    AssignmentAck,
+    NetworkedDistributedSolve,
+    ProfileRequest,
+    solve_over_network,
+)
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import ScheduledEvent
 from repro.simulation.network_sim import (
@@ -66,6 +72,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "ArrivalProcess",
+    "AssignmentAck",
     "BurstyArrivals",
     "ChaosRunResult",
     "ChaosScenario",
@@ -80,7 +87,9 @@ __all__ = [
     "LinkFailureEvent",
     "Message",
     "MessageNetwork",
+    "NetworkedDistributedSolve",
     "PoissonArrivals",
+    "ProfileRequest",
     "QoSTier",
     "RandomWalkProfile",
     "ScenarioComparison",
@@ -98,5 +107,6 @@ __all__ = [
     "rng_from",
     "run_scenario",
     "run_soak",
+    "solve_over_network",
     "spawn_seeds",
 ]

@@ -1,0 +1,279 @@
+"""Distributed transportation solve: exactness against the centralized LP.
+
+The distributed protocol IS the transportation simplex with its
+candidate-list pricing split across zones, so the bar is not
+"approximately right" — on every instance the status must match the
+centralized solver's and (when optimal) the objective must agree to
+float noise, with the certified gap below 1e-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacementEngine, PlacementProblem, PlacementSession
+from repro.core.roles import classify_network
+from repro.core.thresholds import ThresholdPolicy
+from repro.core.zoning import (
+    DistributedPlacementEngine,
+    DistributedPlacementReport,
+    partition_by_pod,
+    zone_boundaries,
+    zone_relief_views,
+)
+from repro.core.metrics import merge_partial_relief, relief_by_source, relief_divergence
+from repro.errors import PlacementError
+from repro.experiments.common import IterationSampler
+from repro.lp import (
+    SolveStatus,
+    TransportationProblem,
+    solve_distributed,
+    solve_transportation,
+)
+from repro.lp.distributed import extract_zone_subproblems, run_protocol
+from repro.routing.response_time import PathEngine, ResponseTimeModel
+from repro.topology.fattree import build_fat_tree
+
+GAP_TOL = 1e-6
+
+
+def _random_problem(rng: np.random.Generator):
+    """A random (possibly infeasible, possibly forbidden-laned) instance."""
+    m = int(rng.integers(1, 15))
+    n = int(rng.integers(1, 18))
+    supply = rng.uniform(0.5, 12.0, m)
+    demand = rng.uniform(0.5, 12.0, n)
+    if rng.random() < 0.85:  # mostly feasible: scale demand above supply
+        demand *= (supply.sum() / demand.sum()) * float(rng.uniform(1.05, 1.8))
+    cost = rng.uniform(0.1, 60.0, (m, n))
+    if rng.random() < 0.6:  # heterogeneous cost scales per row
+        cost *= rng.uniform(0.2, 5.0, (m, 1))
+    forbidden = rng.random((m, n)) < 0.25
+    cost = np.where(forbidden, np.inf, cost)
+    return TransportationProblem(supply, demand, cost)
+
+
+def _random_zones(rng: np.random.Generator, m: int, n: int):
+    """A random partition of rows and columns into 1-5 zones."""
+    zones = int(rng.integers(1, 6))
+    row_owner = rng.integers(0, zones, m)
+    col_owner = rng.integers(0, zones, n)
+    zone_rows = [list(np.flatnonzero(row_owner == z)) for z in range(zones)]
+    zone_cols = [list(np.flatnonzero(col_owner == z)) for z in range(zones)]
+    return zone_rows, zone_cols
+
+
+class TestConvergenceCorpus:
+    """>= 50 seeded instances: exact parity with the centralized LP."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_centralized(self, seed):
+        rng = np.random.default_rng(seed)
+        problem = _random_problem(rng)
+        zone_rows, zone_cols = _random_zones(
+            rng, problem.num_sources, problem.num_destinations
+        )
+        price_rule = "dantzig" if seed % 5 == 0 else "block"
+        reference = solve_transportation(problem)
+        result = solve_distributed(
+            problem, zone_rows, zone_cols, price_rule=price_rule
+        )
+        assert result.status == reference.status, seed
+        if reference.status is SolveStatus.OPTIMAL:
+            scale = max(1.0, abs(reference.objective))
+            assert abs(result.objective - reference.objective) <= GAP_TOL * scale
+            assert result.gap <= GAP_TOL
+            # The flows must satisfy the constraints they claim to.
+            flow = result.flow
+            np.testing.assert_allclose(
+                flow.sum(axis=1), problem.supply, atol=1e-6
+            )
+            assert (flow.sum(axis=0) <= problem.demand + 1e-6).all()
+            assert (flow >= -1e-9).all()
+
+    def test_gap_tol_early_stop_is_certified(self):
+        rng = np.random.default_rng(123)
+        problem = _random_problem(rng)
+        zone_rows, zone_cols = _random_zones(
+            rng, problem.num_sources, problem.num_destinations
+        )
+        reference = solve_transportation(problem)
+        result = solve_distributed(
+            problem, zone_rows, zone_cols, gap_tol=1e-2
+        )
+        if reference.status is SolveStatus.OPTIMAL:
+            assert result.status is SolveStatus.OPTIMAL
+            # The certificate must hold: true gap within the claimed bound.
+            scale = max(1.0, abs(reference.objective))
+            assert result.objective >= reference.objective - 1e-9
+            assert (
+                result.objective - reference.objective
+            ) / scale <= result.gap + 1e-9
+
+    def test_worker_reuse_warm_starts_presolve(self):
+        rng = np.random.default_rng(7)
+        problem = _random_problem(rng)
+        zone_rows, zone_cols = _random_zones(
+            rng, problem.num_sources, problem.num_destinations
+        )
+        workers = extract_zone_subproblems(problem, zone_rows, zone_cols)
+        first = run_protocol(workers)
+        # Perturb costs slightly and re-run through the same workers:
+        # their presolves should warm-start from the previous basis.
+        for worker in workers:
+            worker.cost_rows = np.where(
+                np.isfinite(worker.cost_rows),
+                worker.cost_rows * 1.01,
+                worker.cost_rows,
+            )
+            worker.final_flows = ()
+            worker.final_status = None
+        second = run_protocol(workers)
+        assert second.status == first.status
+        if first.status is SolveStatus.OPTIMAL:
+            assert second.presolve_warm_hits >= 1
+
+
+class TestTopologyLevel:
+    """The DistributedPlacementEngine against the warm-started session
+    on real fat-tree snapshots, k in {4, 8, 16}."""
+
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_fat_tree_parity(self, k):
+        policy = ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
+        topology = build_fat_tree(k)
+        sampler = IterationSampler(topology, x_min=policy.x_min, seed=k)
+        _, capacities = next(iter(sampler.states(1)))
+        roles = classify_network(capacities, policy)
+        problem = PlacementProblem(
+            topology=topology,
+            busy=tuple(roles.busy),
+            candidates=tuple(roles.candidates),
+            cs=np.array([policy.excess_load(capacities[b]) for b in roles.busy]),
+            cd=np.array(
+                [policy.spare_capacity(capacities[c]) for c in roles.candidates]
+            ),
+            data_mb=np.full(len(roles.busy), 10.0),
+            max_hops=4,
+        )
+
+        def engine():
+            return PlacementEngine(
+                response_model=ResponseTimeModel(engine=PathEngine.DP, max_hops=4),
+                with_routes=False,
+            )
+
+        central = PlacementSession(engine=engine()).solve(problem)
+        zones = partition_by_pod(topology)
+        distributed = DistributedPlacementEngine(zones=zones, engine=engine()).solve(
+            problem
+        )
+        assert isinstance(distributed, DistributedPlacementReport)
+        assert distributed.status == central.status
+        scale = max(1.0, abs(central.objective_beta))
+        assert (
+            abs(distributed.objective_beta - central.objective_beta)
+            <= GAP_TOL * scale
+        )
+        # Same total relief per source, however the lanes were split.
+        assert (
+            relief_divergence(
+                relief_by_source(
+                    type("O", (), {"source": a.busy, "amount_pct": a.amount_pct})()
+                    for a in central.assignments
+                ),
+                zone_relief_views(zones, distributed.assignments),
+            )
+            <= 1e-6
+        )
+        assert distributed.boundary_sizes == {
+            zid: len(nodes)
+            for zid, nodes in zone_boundaries(topology, zones).items()
+        }
+
+    def test_partial_views_merge_to_global(self):
+        topology = build_fat_tree(4)
+        zones = partition_by_pod(topology)
+        policy = ThresholdPolicy(c_max=80.0, co_max=50.0, x_min=10.0)
+        sampler = IterationSampler(topology, x_min=policy.x_min, seed=2)
+        _, capacities = next(iter(sampler.states(1)))
+        roles = classify_network(capacities, policy)
+        problem = PlacementProblem(
+            topology=topology,
+            busy=tuple(roles.busy),
+            candidates=tuple(roles.candidates),
+            cs=np.array([policy.excess_load(capacities[b]) for b in roles.busy]),
+            cd=np.array(
+                [policy.spare_capacity(capacities[c]) for c in roles.candidates]
+            ),
+            data_mb=np.full(len(roles.busy), 10.0),
+        )
+        report = DistributedPlacementEngine(zones=zones).solve(problem)
+        views = zone_relief_views(zones, report.assignments)
+        merged = merge_partial_relief(views)
+        direct = {}
+        for a in report.assignments:
+            direct[a.busy] = direct.get(a.busy, 0.0) + a.amount_pct
+        assert merged.keys() == direct.keys()
+        for key in direct:
+            assert merged[key] == pytest.approx(direct[key])
+        # And the divergence metric scores the sliced view as identical.
+        assert relief_divergence(direct, views) == 0.0
+
+    def test_rejects_integral_problems(self):
+        topology = build_fat_tree(4)
+        zones = partition_by_pod(topology)
+        problem = PlacementProblem(
+            topology=topology,
+            busy=(0,),
+            candidates=(5,),
+            cs=np.array([4.0]),
+            cd=np.array([10.0]),
+            data_mb=np.array([10.0]),
+            integral=True,
+        )
+        with pytest.raises(PlacementError):
+            DistributedPlacementEngine(zones=zones).solve(problem)
+
+
+class TestEdgeCases:
+    def test_infeasible_matches_centralized(self):
+        problem = TransportationProblem(
+            np.array([5.0, 7.0]), np.array([3.0]), np.array([[1.0], [2.0]])
+        )
+        reference = solve_transportation(problem)
+        result = solve_distributed(problem, [[0], [1]], [[0], []])
+        assert result.status == reference.status
+        assert result.status is SolveStatus.INFEASIBLE
+        assert not result.feasible
+
+    def test_all_forbidden_is_infeasible(self):
+        problem = TransportationProblem(
+            np.array([2.0]), np.array([5.0]), np.array([[np.inf]])
+        )
+        result = solve_distributed(problem, [[0]], [[0]])
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_zero_supply_trivially_optimal(self):
+        problem = TransportationProblem(
+            np.array([0.0, 0.0]), np.array([4.0]), np.array([[1.0], [2.0]])
+        )
+        result = solve_distributed(problem, [[0, 1]], [[0]])
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(0.0)
+
+    def test_empty_zone_participates_harmlessly(self):
+        problem = TransportationProblem(
+            np.array([3.0]), np.array([2.0, 2.0]), np.array([[1.0, 4.0]])
+        )
+        result = solve_distributed(problem, [[0], []], [[0], [1]])
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(1.0 * 2.0 + 4.0 * 1.0)
+
+    def test_invalid_partition_rejected(self):
+        problem = TransportationProblem(
+            np.array([3.0]), np.array([4.0]), np.array([[1.0]])
+        )
+        with pytest.raises(Exception):
+            solve_distributed(problem, [[0], [0]], [[0], []])
