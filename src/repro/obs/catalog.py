@@ -14,6 +14,7 @@ Naming convention: ``<layer>.<event>`` with the layer prefixes
 prefix     owner layer
 ========== ==========================================================
 trmin      route-pricing engine (:mod:`repro.routing.engine`)
+routing    path-enumeration kernel (:mod:`repro.routing.enumkernel`)
 lp         LP/ILP backends (:mod:`repro.lp`)
 placement  Eq.-3 placement engine/session (:mod:`repro.core.placement`)
 heuristic  Algorithm-1 vectorized kernel (:mod:`repro.core.heuristic`)
@@ -72,6 +73,15 @@ CATALOG: List[Tuple[str, str, str, str, str]] = [
      "All-sources pricings answered by the matrix DP kernel"),
     ("histogram", "trmin.price_seconds", "seconds", "repro.routing.engine",
      "Wall time of one resistance_matrix call"),
+    # -- routing: frontier-expansion enumeration kernel -----------------------------
+    ("counter", "routing.enum_kernel_calls", "count", "repro.routing.enumkernel",
+     "Frontier-expansion kernel invocations (count + pricing entry points)"),
+    ("counter", "routing.enum_frontier_rows", "count", "repro.routing.enumkernel",
+     "Partial-path rows expanded across all kernel depth layers"),
+    ("counter", "routing.enum_pruned_rows", "count", "repro.routing.enumkernel",
+     "Partial-path extensions dropped by the admissible lower bound"),
+    ("counter", "routing.enum_bound_cutoffs", "count", "repro.routing.enumkernel",
+     "Complete paths dropped by the pricing bound before the fold"),
     # -- lp: solver backends --------------------------------------------------------
     ("counter", "lp.transportation.solves", "count", "repro.lp.transportation",
      "Transportation-simplex solves"),

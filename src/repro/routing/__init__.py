@@ -3,6 +3,12 @@
 from __future__ import annotations
 
 from repro.routing.engine import EngineStats, TrminCache, TrminEngine
+from repro.routing.enumkernel import (
+    count_paths_kernel,
+    enumeration_kernel_enabled,
+    set_enumeration_kernel,
+    use_enumeration_kernel,
+)
 from repro.routing.kshortest import k_shortest_paths, path_cost
 from repro.routing.paths import (
     count_paths,
@@ -37,9 +43,13 @@ __all__ = [
     "TrminEntry",
     "all_sources_hop_constrained",
     "count_paths",
+    "count_paths_kernel",
     "enumerate_paths",
+    "enumeration_kernel_enabled",
     "hop_constrained_shortest",
     "iter_simple_paths",
     "iter_simple_paths_raw",
+    "set_enumeration_kernel",
     "shortest_path",
+    "use_enumeration_kernel",
 ]

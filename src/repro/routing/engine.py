@@ -22,7 +22,13 @@ with three orthogonal accelerations:
   the dirty set makes repair a loss (``EngineStats.gate_fallbacks``);
 * **vectorized** — the underlying enumeration primitive batches path
   pricing through one ``np.add.reduceat`` per ~512 paths (see
-  :func:`~repro.routing.response_time._best_enum_route`).
+  :func:`~repro.routing.response_time._best_enum_route`), and by
+  default sources those paths from the frontier-expansion kernel
+  (:mod:`repro.routing.enumkernel`): array-level hop expansion with
+  admissible lower-bound pruning, whose DFS-ordered survivors replay
+  through the same fold — so serial, parallel, incremental and matrix
+  modes all thread through the kernel automatically
+  (``REPRO_ENUM_KERNEL=0`` restores the reference DFS everywhere).
 
 All three layers reuse the same canonical per-pair / per-source
 primitives, so every mode returns bit-identical ``(R, hops)`` matrices
@@ -592,9 +598,15 @@ class TrminEngine:
                 for d in entry.destinations:
                     entry.replace_pair((s, d), row_paths.get((s, d)))
             return
+        # Shared backward bound-DP cache for the enumeration kernel:
+        # weights and hop budget are fixed across the flagged pairs, so
+        # each distinct destination's plane is computed once.
+        bound_cache: Dict[int, np.ndarray] = {}
         for s, d in sorted(flagged):
             a, b = entry.src_index[s], entry.dst_index[d]
-            res, nh, raw = _best_enum_route(topology, s, d, model.max_hops, weights)
+            res, nh, raw = _best_enum_route(
+                topology, s, d, model.max_hops, weights, bound_cache=bound_cache
+            )
             if raw is None:
                 entry.R[a, b] = np.inf
                 entry.hops[a, b] = -1

@@ -8,7 +8,11 @@ The exponential growth of enumerated paths with ``max_hops`` is what
 Figures 8 and 10 measure, so the engine deliberately materializes each
 path.
 
-For the polynomial alternative see :mod:`repro.routing.shortest`.
+For the polynomial alternative see :mod:`repro.routing.shortest`; for
+the vectorized frontier-expansion form of this same enumeration (the
+default behind counting and Trmin pricing) see
+:mod:`repro.routing.enumkernel` — this module remains the readable
+reference it is property-tested against.
 """
 
 from __future__ import annotations
@@ -100,13 +104,25 @@ def enumerate_paths(
 ) -> List[Path]:
     """Materialize :func:`iter_simple_paths` (optionally capped at
     ``limit`` paths — a cap makes the faithful engine usable on
-    topologies where full enumeration would exhaust memory)."""
-    out: List[Path] = []
-    for path in iter_simple_paths(topology, source, destination, max_hops):
-        out.append(path)
-        if limit is not None and len(out) >= limit:
-            break
-    return out
+    topologies where full enumeration would exhaust memory).
+
+    With a ``limit`` the raw iterator is consumed directly and paths
+    are built with the trusted constructor (the DFS's on-path array
+    already guarantees every invariant ``Path`` would re-check), since
+    capped enumeration exists precisely for topologies where per-path
+    overhead dominates. The cap keeps DFS-prefix semantics: the first
+    ``limit`` paths in DFS order, identical to the uncapped prefix.
+    """
+    if limit is not None:
+        out: List[Path] = []
+        for nodes, edges in iter_simple_paths_raw(
+            topology, source, destination, max_hops
+        ):
+            out.append(Path.trusted(nodes, edges))
+            if len(out) >= limit:
+                break
+        return out
+    return list(iter_simple_paths(topology, source, destination, max_hops))
 
 
 def count_paths(
@@ -115,5 +131,18 @@ def count_paths(
     destination: int,
     max_hops: Optional[int] = None,
 ) -> int:
-    """Number of hop-bounded simple paths (drives the complexity plots)."""
-    return sum(1 for _ in iter_simple_paths(topology, source, destination, max_hops))
+    """Number of hop-bounded simple paths (drives the complexity plots).
+
+    Counting is exhaustive by definition: the frontier-expansion kernel
+    (when enabled) applies only the simple-path and hop-budget
+    constraints — never the pricing bound — and the reference fallback
+    consumes the raw iterator without building a :class:`Path` per
+    path.
+    """
+    from repro.routing import enumkernel
+
+    if enumkernel.enumeration_kernel_enabled():
+        return enumkernel.count_paths_kernel(topology, source, destination, max_hops)
+    return sum(
+        1 for _ in iter_simple_paths_raw(topology, source, destination, max_hops)
+    )

@@ -22,17 +22,27 @@ and cached layers in :mod:`repro.routing.engine`. Summation order is
 strictly sequential everywhere (Python accumulation below 8 edges,
 ``reduceat`` segments above), which is what makes serial, parallel and
 incrementally-cached results bit-identical.
+
+By default the ENUMERATION stream comes from the vectorized
+frontier-expansion kernel (:mod:`repro.routing.enumkernel`), which
+prunes provably non-influential paths with an admissible lower bound
+and replays the DFS-ordered survivors through the same canonical fold
+(:func:`_fold_raw_paths`); ``REPRO_ENUM_KERNEL=0`` or
+:func:`repro.routing.enumkernel.set_enumeration_kernel` falls back to
+the retained pure-Python reference DFS
+(:func:`_best_enum_route_reference`).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import RoutingError
+from repro.routing import enumkernel
 from repro.routing.paths import iter_simple_paths_raw
 from repro.routing.routes import Path, RouteChoice
 from repro.routing.shortest import hop_constrained_shortest
@@ -69,23 +79,22 @@ def _path_resistance(path: "Path", edge_weights: np.ndarray) -> float:
     return float(np.add.reduceat(edge_weights[idx], [0])[0])
 
 
-def _best_enum_route(
-    topology: Topology,
-    source: int,
-    destination: int,
-    max_hops: Optional[int],
+def _fold_raw_paths(
+    stream: Iterable[Tuple[Tuple[int, ...], Tuple[int, ...]]],
     edge_weights: np.ndarray,
 ) -> Tuple[float, int, Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]]:
-    """Best hop-bounded route by exhaustive enumeration.
+    """Canonical sequential fold over a DFS-ordered raw path stream.
 
     Returns ``(resistance, hops, (nodes, edges))`` — or
-    ``(inf, -1, None)`` when the destination is unreachable within the
-    hop budget. Paths are priced in batches: the edge ids of up to
-    ``_PRICE_BATCH`` paths are concatenated and summed with one
-    fancy-index + ``np.add.reduceat`` instead of one numpy round trip
-    per path; only candidates within ``_TIE_TOL`` of the running
-    minimum are then examined in DFS order, preserving the serial
-    scan's resistance-then-fewer-hops tie-break exactly.
+    ``(inf, -1, None)`` on an empty stream. Paths are priced in
+    batches: the edge ids of up to ``_PRICE_BATCH`` paths are
+    concatenated and summed with one fancy-index + ``np.add.reduceat``
+    instead of one numpy round trip per path; only candidates within
+    ``_TIE_TOL`` of the running minimum are then examined in DFS order,
+    preserving the serial scan's resistance-then-fewer-hops tie-break
+    exactly. Both the reference DFS stream and the enumeration kernel's
+    pruned survivor stream terminate here, which is what makes the two
+    engines bit-identical.
     """
     best_res = np.inf
     best_hops = -1
@@ -120,7 +129,7 @@ def _best_enum_route(
         buf_edges.clear()
         buf_raw.clear()
 
-    for nodes, edges in iter_simple_paths_raw(topology, source, destination, max_hops):
+    for nodes, edges in stream:
         if not edges:  # zero-hop path: source == destination
             return 0.0, 0, (nodes, edges)
         buf_edges.append(edges)
@@ -129,6 +138,60 @@ def _best_enum_route(
             _flush()
     _flush()
     return best_res, best_hops, best_raw
+
+
+def _best_enum_route_reference(
+    topology: Topology,
+    source: int,
+    destination: int,
+    max_hops: Optional[int],
+    edge_weights: np.ndarray,
+) -> Tuple[float, int, Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]]:
+    """Best hop-bounded route by exhaustive reference enumeration.
+
+    The retained pure-Python DFS path: every hop-bounded simple path is
+    generated and fed to the canonical fold. This is the ground truth
+    the vectorized kernel is benchmarked and property-tested against.
+    """
+    return _fold_raw_paths(
+        iter_simple_paths_raw(topology, source, destination, max_hops),
+        edge_weights,
+    )
+
+
+def _best_enum_route(
+    topology: Topology,
+    source: int,
+    destination: int,
+    max_hops: Optional[int],
+    edge_weights: np.ndarray,
+    bound_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[float, int, Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]]:
+    """Best hop-bounded route by exhaustive enumeration.
+
+    Returns ``(resistance, hops, (nodes, edges))`` — or
+    ``(inf, -1, None)`` when the destination is unreachable within the
+    hop budget. Dispatches to the frontier-expansion kernel
+    (:mod:`repro.routing.enumkernel`) when enabled — the kernel prunes
+    provably non-influential paths and hands the DFS-ordered survivors
+    to the same canonical fold, so the outcome is bit-identical to the
+    reference DFS. ``bound_cache`` (keyed by destination) lets matrix
+    builds reuse the kernel's backward bound DP across source rows.
+
+    The kernel path requires strictly positive edge weights (the bound
+    DP validates them); exotic non-positive weight vectors fall back to
+    the reference automatically.
+    """
+    if enumkernel.enumeration_kernel_enabled() and (
+        edge_weights.size == 0 or float(edge_weights.min()) > 0.0
+    ):
+        survivors = enumkernel.pruned_candidates(
+            topology, source, destination, max_hops, edge_weights, bound_cache
+        )
+        return _fold_raw_paths(survivors, edge_weights)
+    return _best_enum_route_reference(
+        topology, source, destination, max_hops, edge_weights
+    )
 
 
 def _dp_source_row(
@@ -278,10 +341,15 @@ class ResponseTimeModel:
             # handled by the DP (dist[0, source] = 0).
             return R, hops, paths
 
+        # One backward bound-DP per distinct destination, shared across
+        # all source rows (the kernel keys it by destination; weights
+        # and hop budget are fixed for the whole call).
+        bound_cache: Dict[int, np.ndarray] = {}
         for a, src in enumerate(sources):
             for b, dst in enumerate(destinations):
                 res, nh, raw = _best_enum_route(
-                    topology, int(src), int(dst), self.max_hops, weights
+                    topology, int(src), int(dst), self.max_hops, weights,
+                    bound_cache=bound_cache,
                 )
                 if raw is None:
                     continue

@@ -1,0 +1,264 @@
+"""Frontier-expansion kernel vs reference DFS: bit-identity properties.
+
+The kernel (:mod:`repro.routing.enumkernel`) must be indistinguishable
+from the retained pure-Python reference on every fixture: identical
+``(resistance, hops, path)`` triples out of the pricing fold (including
+the resistance-then-fewer-hops-then-DFS-order tie-break) and identical
+exhaustive path counts. These tests drive both engines over hypothesis
+random graphs, fat-trees k in {4, 8}, and the degenerate corners the
+kernel special-cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.obs import get_registry
+from repro.routing import count_paths, enumerate_paths, iter_simple_paths_raw
+from repro.routing import enumkernel
+from repro.routing.enumkernel import (
+    count_paths_kernel,
+    enumeration_kernel_enabled,
+    pruned_candidates,
+    set_enumeration_kernel,
+    use_enumeration_kernel,
+)
+from repro.routing.response_time import (
+    _best_enum_route,
+    _best_enum_route_reference,
+)
+from repro.topology import (
+    BandwidthConvention,
+    Link,
+    LinkUtilizationModel,
+    Topology,
+    build_fat_tree,
+    build_random_connected,
+)
+
+
+def _weights(topo):
+    return 1.0 / topo.effective_bandwidths(BandwidthConvention.AVAILABLE)
+
+
+def _ref_count(topo, s, d, h):
+    return sum(1 for _ in iter_simple_paths_raw(topo, s, d, h))
+
+
+def _assert_pair_identical(topo, s, d, h, weights):
+    ref = _best_enum_route_reference(topo, s, d, h, weights)
+    with use_enumeration_kernel(True):
+        ker = _best_enum_route(topo, s, d, h, weights)
+    # Bit-identity: same float (== not approx), same hops, same path.
+    assert ker == ref
+
+
+def disconnected_topology():
+    """Two components: {0, 1} and {2, 3}."""
+    topo = Topology()
+    for _ in range(4):
+        topo.add_node()
+    topo.add_edge(0, 1, Link(capacity_mbps=1000.0))
+    topo.add_edge(2, 3, Link(capacity_mbps=1000.0))
+    return topo
+
+
+class TestCountIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=11),
+        st.integers(min_value=0, max_value=300),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    )
+    def test_property_counts_match_reference(self, n, seed, max_hops):
+        topo = build_random_connected(n, 0.35, seed=seed)
+        for s in range(0, n, 2):
+            for d in range(1, n, 3):
+                assert count_paths_kernel(topo, s, d, max_hops) == _ref_count(
+                    topo, s, d, max_hops
+                )
+
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_fat_tree_counts_match(self, k):
+        topo = build_fat_tree(k)
+        n = topo.num_nodes
+        pairs = [(0, n - 1), (0, n // 2), (n // 3, 2 * n // 3), (1, 1)]
+        for h in (2, 4, 5):
+            for s, d in pairs:
+                assert count_paths_kernel(topo, s, d, h) == _ref_count(topo, s, d, h)
+
+    def test_count_paths_dispatches_to_kernel(self):
+        topo = build_fat_tree(4)
+        reg = get_registry()
+        with use_enumeration_kernel(True):
+            before = reg.counter("routing.enum_kernel_calls").value
+            a = count_paths(topo, 0, topo.num_nodes - 1, 4)
+            assert reg.counter("routing.enum_kernel_calls").value == before + 1
+        with use_enumeration_kernel(False):
+            b = count_paths(topo, 0, topo.num_nodes - 1, 4)
+        assert a == b
+
+    def test_counting_path_never_prunes(self):
+        """The bound counters stay flat across exhaustive counting."""
+        topo = build_fat_tree(4)
+        reg = get_registry()
+        pruned = reg.counter("routing.enum_pruned_rows").value
+        cutoffs = reg.counter("routing.enum_bound_cutoffs").value
+        for s, d in [(0, topo.num_nodes - 1), (3, 9), (0, 0)]:
+            count_paths_kernel(topo, s, d, 6)
+        assert reg.counter("routing.enum_pruned_rows").value == pruned
+        assert reg.counter("routing.enum_bound_cutoffs").value == cutoffs
+
+
+class TestBestRouteIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=300),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    )
+    def test_property_random_graphs(self, n, seed, max_hops):
+        topo = build_random_connected(n, 0.3, seed=seed)
+        LinkUtilizationModel(0.1, 0.9, seed=seed + 1).apply(topo)
+        weights = _weights(topo)
+        for s in range(0, n, 2):
+            for d in range(1, n, 3):
+                _assert_pair_identical(topo, s, d, max_hops, weights)
+
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_fat_tree_pairs(self, k):
+        topo = build_fat_tree(k)
+        LinkUtilizationModel(0.2, 0.8, seed=k).apply(topo)
+        weights = _weights(topo)
+        n = topo.num_nodes
+        pairs = [(0, n - 1), (0, n // 2), (n // 3, 2 * n // 3)]
+        for h in (2, 4, 5, None if k == 4 else 6):
+            for s, d in pairs:
+                _assert_pair_identical(topo, s, d, h, weights)
+
+    def test_tie_heavy_uniform_cost_mesh(self):
+        """Every same-length path prices bit-equal: the fold must pick
+        the same (hops, DFS-order) winner from kernel survivors."""
+        for k in (4, 8):
+            topo = build_fat_tree(k)  # untouched links: uniform weights
+            weights = _weights(topo)
+            assert np.unique(weights).size == 1
+            n = topo.num_nodes
+            for s, d in [(0, n - 1), (1, n // 2), (2, 2 * n // 3)]:
+                for h in (3, 4, 5):
+                    _assert_pair_identical(topo, s, d, h, weights)
+
+    def test_near_zero_edge_costs(self):
+        """Resistances inside the ~1e-12 tie window: the kernel may not
+        prune anything, and the fold outcome must still match."""
+        topo = build_random_connected(8, 0.4, seed=7)
+        weights = np.full(topo.num_edges, 1e-13)
+        for s in range(8):
+            for d in range(8):
+                _assert_pair_identical(topo, s, d, 4, weights)
+
+
+class TestDegenerateCorners:
+    def test_source_equals_destination(self):
+        topo = build_fat_tree(4)
+        weights = _weights(topo)
+        for h in (None, 0, 1, 5):
+            assert pruned_candidates(topo, 3, 3, h, weights) == [((3,), ())]
+            assert count_paths_kernel(topo, 3, 3, h) == 1
+            _assert_pair_identical(topo, 3, 3, h, weights)
+
+    def test_max_hops_zero_and_one(self):
+        topo = build_fat_tree(4)
+        weights = _weights(topo)
+        for s, d in [(0, 1), (0, topo.num_nodes - 1)]:
+            for h in (0, 1):
+                assert count_paths_kernel(topo, s, d, h) == _ref_count(topo, s, d, h)
+                _assert_pair_identical(topo, s, d, h, weights)
+
+    def test_unreachable_pair(self):
+        topo = disconnected_topology()
+        weights = _weights(topo)
+        assert count_paths_kernel(topo, 0, 3, None) == 0
+        assert pruned_candidates(topo, 0, 3, None, weights) == []
+        _assert_pair_identical(topo, 0, 3, None, weights)
+
+    def test_unreachable_within_budget(self):
+        """Reachable in the graph, not within max_hops."""
+        topo = build_fat_tree(4)
+        weights = _weights(topo)
+        # Cross-pod edge switches need >= 4 hops.
+        s, d = 0, topo.num_nodes - 1
+        assert _ref_count(topo, s, d, 2) == count_paths_kernel(topo, s, d, 2)
+        _assert_pair_identical(topo, s, d, 2, weights)
+
+    def test_negative_max_hops_rejected(self):
+        topo = build_fat_tree(4)
+        with pytest.raises(RoutingError):
+            count_paths_kernel(topo, 0, 1, -1)
+        with pytest.raises(RoutingError):
+            pruned_candidates(topo, 0, 1, -2, _weights(topo))
+
+
+class TestToggle:
+    def test_set_and_restore(self):
+        initial = enumeration_kernel_enabled()
+        try:
+            prev = set_enumeration_kernel(False)
+            assert prev == initial
+            assert not enumeration_kernel_enabled()
+            with use_enumeration_kernel(True):
+                assert enumeration_kernel_enabled()
+            assert not enumeration_kernel_enabled()
+        finally:
+            set_enumeration_kernel(initial)
+
+    def test_disabled_kernel_falls_back_to_reference(self):
+        topo = build_fat_tree(4)
+        weights = _weights(topo)
+        reg = get_registry()
+        with use_enumeration_kernel(False):
+            before = reg.counter("routing.enum_kernel_calls").value
+            out = _best_enum_route(topo, 0, topo.num_nodes - 1, 4, weights)
+            assert reg.counter("routing.enum_kernel_calls").value == before
+        assert out == _best_enum_route_reference(
+            topo, 0, topo.num_nodes - 1, 4, weights
+        )
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENUM_KERNEL", "0")
+        assert not enumkernel._env_default()
+        monkeypatch.setenv("REPRO_ENUM_KERNEL", "off")
+        assert not enumkernel._env_default()
+        monkeypatch.setenv("REPRO_ENUM_KERNEL", "1")
+        assert enumkernel._env_default()
+        monkeypatch.delenv("REPRO_ENUM_KERNEL")
+        assert enumkernel._env_default()
+
+
+class TestSurvivorStream:
+    def test_survivors_are_dfs_prefix_consistent(self):
+        """Survivors appear in reference DFS order and include the
+        reference winner."""
+        topo = build_fat_tree(4)
+        LinkUtilizationModel(0.3, 0.7, seed=11).apply(topo)
+        weights = _weights(topo)
+        s, d = 0, topo.num_nodes - 1
+        survivors = pruned_candidates(topo, s, d, 5, weights)
+        all_paths = list(iter_simple_paths_raw(topo, s, d, 5))
+        positions = {p: i for i, p in enumerate(all_paths)}
+        idx = [positions[p] for p in survivors]
+        assert idx == sorted(idx)  # DFS order preserved
+        ref = _best_enum_route_reference(topo, s, d, 5, weights)
+        assert ref[2] in survivors
+
+    def test_enumerate_paths_limit_is_dfs_prefix(self):
+        topo = build_fat_tree(4)
+        full = enumerate_paths(topo, 0, topo.num_nodes - 1, 5)
+        capped = enumerate_paths(topo, 0, topo.num_nodes - 1, 5, limit=7)
+        assert capped == full[:7]
+        # Trusted construction still yields structurally valid paths.
+        for p in capped:
+            assert len(p.edges) == len(p.nodes) - 1
+            assert len(set(p.nodes)) == len(p.nodes)
